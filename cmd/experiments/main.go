@@ -1,0 +1,301 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all -scale quick
+//	experiments -exp fig2a,fig2b,fig2c -scale full
+//	experiments -exp fig6 -scale full -out results/
+//
+// Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
+// fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
+// logging, ksafety, multiserver, all. Output is printed as aligned text
+// tables; -out additionally writes CSV files per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "all", "comma-separated experiments (see doc)")
+		scaleFlag = flag.String("scale", "quick", "quick (1/10 scale) or full (paper scale)")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		gnuplot   = flag.Bool("gnuplot", false, "also write gnuplot scripts next to the CSVs")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		diskBench = flag.Bool("disk-bench", false, "measure real disk bandwidth for table3 (writes 256 MB)")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fatalf("unknown scale %q (quick|full)", *scaleFlag)
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expFlag, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	want := func(name string) bool { return all || wanted[name] }
+
+	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot}
+
+	if want("table1") || want("table2") {
+		r.tables12()
+	}
+	if want("table3") {
+		r.table3(*diskBench)
+	}
+	if want("fig2a") || want("fig2b") || want("fig2c") {
+		r.fig2(want("fig2a") || all, want("fig2b") || all, want("fig2c") || all)
+	}
+	if want("fig3") {
+		r.fig3()
+	}
+	if want("fig4a") || want("fig4b") || want("fig4c") {
+		r.fig4(want("fig4a") || all, want("fig4b") || all, want("fig4c") || all)
+	}
+	if want("fig5") || want("table5") {
+		r.fig5()
+	}
+	if want("fig6") {
+		r.fig6()
+	}
+	if want("ablation-c") {
+		r.ablationC()
+	}
+	if want("ablation-sorted") {
+		r.ablationSorted()
+	}
+	if want("ablation-hw") {
+		r.ablationHW()
+	}
+	if want("logging") {
+		r.logging()
+	}
+	if want("ksafety") {
+		r.ksafety()
+	}
+	if want("multiserver") {
+		r.multiserver()
+	}
+	if r.ran == 0 {
+		fatalf("no experiment matched %q", *expFlag)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+type runner struct {
+	scale   experiments.Scale
+	seed    int64
+	outDir  string
+	gnuplot bool
+	ran     int
+}
+
+func (r *runner) emit(name string, fig *metrics.Figure) {
+	r.ran++
+	fmt.Printf("\n=== %s ===\n%s", name, fig.String())
+	if r.outDir != "" {
+		if err := os.MkdirAll(r.outDir, 0o755); err != nil {
+			fatalf("%v", err)
+		}
+		path := filepath.Join(r.outDir, name+".csv")
+		if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("(csv written to %s)\n", path)
+		if r.gnuplot {
+			logAxes := strings.Contains(name, "fig2") || strings.Contains(name, "fig6")
+			plt := filepath.Join(r.outDir, name+".plt")
+			if err := os.WriteFile(plt, []byte(fig.Gnuplot(logAxes, logAxes)), 0o644); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+}
+
+func (r *runner) emitTable(name string, t *metrics.TextTable) {
+	r.ran++
+	fmt.Printf("\n=== %s ===\n%s", name, t.String())
+}
+
+func (r *runner) timed(name string, fn func()) {
+	start := time.Now()
+	fn()
+	fmt.Printf("(%s took %v)\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func (r *runner) tables12() {
+	t1 := metrics.NewTextTable()
+	t1.Header("method", "copy timing", "objects copied", "disk organization")
+	for _, c := range checkpoint.Taxonomy() {
+		t1.Row(c.Method.String(), c.Timing.String(), c.Objects.String(), c.Disk.String())
+	}
+	r.emitTable("Table 1: algorithms for checkpointing game state", t1)
+
+	t2 := metrics.NewTextTable()
+	t2.Header("method", "Copy-To-Memory", "Write-Copies", "Handle-Update", "Write-Objects")
+	for _, row := range checkpoint.SubroutineTable() {
+		t2.Row(row.Method.String(), row.CopyToMemory, row.WriteCopiesToStableStorage,
+			row.HandleUpdate, row.WriteObjectsToStable)
+	}
+	r.emitTable("Table 2: subroutine implementations", t2)
+}
+
+func (r *runner) table3(diskBench bool) {
+	r.timed("table3", func() {
+		p, err := experiments.MeasureTable3(diskBench, "")
+		if err != nil {
+			fatalf("table3: %v", err)
+		}
+		r.emitTable("Table 3: cost-model parameters (paper vs this host)",
+			experiments.Table3Comparison(p))
+	})
+}
+
+func (r *runner) fig2(a, b, c bool) {
+	r.timed("fig2", func() {
+		fs, err := experiments.RunUpdateSweep(r.scale, r.seed)
+		if err != nil {
+			fatalf("fig2: %v", err)
+		}
+		if a {
+			r.emit("fig2a-overhead-vs-updates", &fs.Overhead)
+		}
+		if b {
+			r.emit("fig2b-checkpoint-vs-updates", &fs.Checkpoint)
+		}
+		if c {
+			r.emit("fig2c-recovery-vs-updates", &fs.Recovery)
+		}
+	})
+}
+
+func (r *runner) fig3() {
+	r.timed("fig3", func() {
+		tl, err := experiments.RunLatencyTimeline(r.scale, r.seed)
+		if err != nil {
+			fatalf("fig3: %v", err)
+		}
+		r.emit("fig3-latency-timeline", &tl.Figure)
+	})
+}
+
+func (r *runner) fig4(a, b, c bool) {
+	r.timed("fig4", func() {
+		fs, err := experiments.RunSkewSweep(r.scale, r.seed)
+		if err != nil {
+			fatalf("fig4: %v", err)
+		}
+		if a {
+			r.emit("fig4a-overhead-vs-skew", &fs.Overhead)
+		}
+		if b {
+			r.emit("fig4b-checkpoint-vs-skew", &fs.Checkpoint)
+		}
+		if c {
+			r.emit("fig4c-recovery-vs-skew", &fs.Recovery)
+		}
+	})
+}
+
+func (r *runner) fig5() {
+	r.timed("fig5", func() {
+		gr, err := experiments.RunGameTrace(r.scale, r.seed)
+		if err != nil {
+			fatalf("fig5: %v", err)
+		}
+		r.emitTable("Table 5: game trace characteristics", gr.Table5())
+		fmt.Printf("measured trace: %s\n", gr.TraceStats)
+		r.emitTable("Figure 5: overhead / checkpoint / recovery on the game trace", gr.Bars)
+	})
+}
+
+func (r *runner) fig6() {
+	r.timed("fig6", func() {
+		vr, err := experiments.RunValidation(r.scale, experiments.ValidationOptions{Seed: r.seed})
+		if err != nil {
+			fatalf("fig6: %v", err)
+		}
+		r.emit("fig6a-validation-overhead", &vr.Overhead)
+		r.emit("fig6b-validation-checkpoint", &vr.Checkpoint)
+		r.emit("fig6c-validation-recovery", &vr.Recovery)
+		fmt.Println("note: implementation overhead is instrumented checkpoint work " +
+			"(GC-noise-free), baseline-subtracted; see EXPERIMENTS.md")
+	})
+}
+
+func (r *runner) ablationC() {
+	r.timed("ablation-c", func() {
+		ckpt, rec, err := experiments.RunAblationFullEvery(r.scale, r.seed)
+		if err != nil {
+			fatalf("ablation-c: %v", err)
+		}
+		r.emit("ablation-fullevery-checkpoint", ckpt)
+		r.emit("ablation-fullevery-recovery", rec)
+	})
+}
+
+func (r *runner) ablationSorted() {
+	r.emit("ablation-sorted-writes", experiments.RunAblationSortedWrites(r.scale))
+}
+
+func (r *runner) logging() {
+	fig := experiments.RunLoggingFeasibility(r.scale)
+	r.emit("extension-logging-feasibility", fig)
+	fmt.Printf("physical logging saturates the disk at ≈%.0f updates/tick\n",
+		experiments.MaxPhysicalLoggingRate(r.scale))
+}
+
+func (r *runner) ksafety() {
+	r.timed("ksafety", func() {
+		tab, err := experiments.RunKSafetyComparison(r.scale, r.seed)
+		if err != nil {
+			fatalf("ksafety: %v", err)
+		}
+		r.emitTable("Extension: checkpoint recovery vs K-safe replication (Section 7)", tab)
+	})
+}
+
+func (r *runner) multiserver() {
+	r.timed("multiserver", func() {
+		ms, err := experiments.RunMultiServer(r.scale, r.seed)
+		if err != nil {
+			fatalf("multiserver: %v", err)
+		}
+		r.emit("extension-multiserver-recovery", &ms.Recovery)
+		r.emit("extension-multiserver-overhead", &ms.TickOverhead)
+		r.emit("extension-multiserver-imbalance", &ms.Imbalance)
+	})
+}
+
+func (r *runner) ablationHW() {
+	r.timed("ablation-hw", func() {
+		diskFig, memFig, err := experiments.RunAblationHardware(r.scale, r.seed)
+		if err != nil {
+			fatalf("ablation-hw: %v", err)
+		}
+		r.emit("ablation-disk-bandwidth", diskFig)
+		r.emit("ablation-mem-bandwidth", memFig)
+	})
+}

@@ -1,0 +1,6 @@
+package main
+
+import "math"
+
+// uint32FromFloat reinterprets a float32's bits for storage in 4-byte cells.
+func uint32FromFloat(f float32) uint32 { return math.Float32bits(f) }

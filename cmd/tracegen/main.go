@@ -1,0 +1,88 @@
+// Command tracegen generates update traces in the binary trace format: the
+// synthetic Zipfian workloads of Table 4 or a recording of the Knights and
+// Archers prototype game server (Table 5).
+//
+// Usage:
+//
+//	tracegen -kind zipf -updates 64000 -skew 0.8 -ticks 1000 -out zipf.trace
+//	tracegen -kind game -units 400128 -ticks 1000 -out battle.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/game"
+	"repro/internal/gamestate"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "zipf", "zipf or game")
+		out     = flag.String("out", "", "output file (required)")
+		ticks   = flag.Int("ticks", 1000, "number of ticks")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		updates = flag.Int("updates", 64000, "zipf: updates per tick")
+		skew    = flag.Float64("skew", 0.8, "zipf: skew in [0,1)")
+		rows    = flag.Int("rows", 1_000_000, "zipf: table rows")
+		cols    = flag.Int("cols", 10, "zipf: table columns")
+		units   = flag.Int("units", 400_128, "game: number of units")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+
+	var src trace.Source
+	switch *kind {
+	case "zipf":
+		z, err := trace.NewZipfian(trace.ZipfianConfig{
+			Table:          gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512},
+			UpdatesPerTick: *updates,
+			Ticks:          *ticks,
+			Skew:           *skew,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		src = z
+	case "game":
+		cfg := game.DefaultConfig()
+		cfg.Units = *units
+		cfg.Seed = *seed
+		mem, stats, err := game.GenerateTrace(cfg, *ticks)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("game: %s\n", stats)
+		src = mem
+	default:
+		fatal(fmt.Errorf("unknown kind %q (zipf|game)", *kind))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Write(f, src); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d ticks, %d cells, %d bytes\n",
+		*out, src.NumTicks(), src.NumCells(), info.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

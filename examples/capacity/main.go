@@ -1,0 +1,79 @@
+// Capacity planning: use the simulator the way the paper's evaluation does —
+// to choose a checkpoint recovery strategy for a game design before building
+// it.
+//
+// The scenario mirrors the paper's introduction: a battle-heavy MMO shard
+// with a million-row state table. We sweep the designer's expected update
+// rates, run all six algorithms over identical synthetic workloads, and
+// apply the paper's selection rules (Section 8).
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+)
+
+import "repro"
+
+func main() {
+	cfg := repro.DefaultSimConfig()
+	// The designer's hardware differs from the paper's 2009 server: a
+	// faster disk, same memory class.
+	cfg.Params.DiskBandwidth = 120e6
+
+	fmt.Println("state:", cfg.Table)
+	fmt.Printf("hardware: %s\n\n", cfg.Params)
+
+	// The design has a calm overworld (~4k updates/tick) and battle spikes
+	// (~80k updates/tick).
+	for _, scenario := range []struct {
+		name    string
+		updates int
+	}{
+		{"overworld (calm)", 4_000},
+		{"battle spike", 80_000},
+	} {
+		src, err := repro.NewZipfianTrace(repro.ZipfianTraceConfig{
+			Table:          cfg.Table,
+			UpdatesPerTick: scenario.updates,
+			Ticks:          300,
+			Skew:           0.8,
+			Seed:           42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := repro.SimulateAll(repro.Methods(), cfg, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s: %d updates/tick ---\n", scenario.name, scenario.updates)
+		fmt.Printf("%-28s %14s %14s %14s\n",
+			"method", "avg overhead", "peak overhead", "est. recovery")
+		tickBudget := cfg.Params.TickLen() / 2 // the paper's latency limit
+		var best *repro.SimResult
+		for _, r := range results {
+			fmt.Printf("%-28s %11.3f ms %11.3f ms %12.2f s\n",
+				r.Method.String(), r.AvgOverhead*1e3, r.MaxOverhead*1e3, r.RecoveryTime)
+			// Selection rule: respect the half-tick latency limit first,
+			// then prefer the lowest recovery time, then lowest overhead.
+			if r.MaxOverhead > tickBudget {
+				continue
+			}
+			if best == nil ||
+				r.RecoveryTime < best.RecoveryTime-1e-9 ||
+				(r.RecoveryTime < best.RecoveryTime+1e-9 && r.AvgOverhead < best.AvgOverhead) {
+				best = r
+			}
+		}
+		if best != nil {
+			fmt.Printf("=> pick %s (peak %.1f ms within the %.1f ms latency limit)\n\n",
+				best.Method, best.MaxOverhead*1e3, tickBudget*1e3)
+		} else {
+			fmt.Printf("=> no method respects the latency limit; the paper's rule for this\n" +
+				"   regime is Naive-Snapshot (lowest total latency) plus latency masking\n\n")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Failover drill: prove the double-backup organization survives a corrupted
+// checkpoint image. We run a workload, then deliberately destroy the newest
+// backup image on disk (a torn write, bit rot, an operator mistake) and
+// recover anyway: the engine falls back to the older complete image and
+// replays more of the logical log — with zero lost updates.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "failover")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	table := repro.Table{Rows: 4_096, Cols: 8, CellSize: 4, ObjSize: 512}
+	open := func() *repro.Engine {
+		e, err := repro.OpenEngine(repro.EngineOptions{
+			Table: table, Dir: dir, Mode: repro.ModeCopyOnUpdate, SyncEveryTick: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e
+	}
+
+	// Phase 1: run a deterministic workload.
+	eng := open()
+	const ticks = 200
+	for tick := 0; tick < ticks; tick++ {
+		batch := []repro.Update{
+			{Cell: uint32(tick % table.NumCells()), Value: uint32(tick)*2 + 1},
+			{Cell: uint32((tick * 31) % table.NumCells()), Value: uint32(tick) * 3},
+		}
+		if err := eng.ApplyTick(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran %d ticks, %d checkpoints completed\n",
+		ticks, len(eng.Stats().Checkpoints))
+
+	// Phase 2: find the NEWEST backup image and corrupt it.
+	newest := newestImage(dir)
+	fmt.Printf("corrupting newest image: %s\n", filepath.Base(newest))
+	f, err := os.OpenFile(newest, os.O_WRONLY, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Smash the header checksum region and some data.
+	if _, err := f.WriteAt([]byte("CORRUPTED-BY-OPERATOR-ERROR!"), 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("garbage"), 4096); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// Phase 3: recover. The torn image is rejected; the older image plus a
+	// longer log replay reconstructs the exact pre-crash state.
+	eng2 := open()
+	defer eng2.Close()
+	rec := eng2.Recovery()
+	fmt.Printf("recovery fell back to image epoch %d (as of tick %d), replayed %d ticks\n",
+		rec.Epoch, rec.AsOfTick, rec.ReplayedTicks)
+	if rec.NextTick != ticks {
+		log.Fatalf("lost ticks: recovered to %d, want %d", rec.NextTick, ticks)
+	}
+
+	// Verify every cell against an independent replay of the workload.
+	want := make([]uint32, table.NumCells())
+	for tick := 0; tick < ticks; tick++ {
+		want[tick%table.NumCells()] = uint32(tick)*2 + 1
+		want[(tick*31)%table.NumCells()] = uint32(tick) * 3
+	}
+	for c, v := range want {
+		if got := eng2.Store().Cell(uint32(c)); got != v {
+			log.Fatalf("cell %d: recovered %d, want %d", c, got, v)
+		}
+	}
+	fmt.Println("verified: zero updates lost despite a destroyed checkpoint image")
+}
+
+// newestImage picks the backup file with the higher epoch in its header.
+func newestImage(dir string) string {
+	bestPath, bestEpoch := "", uint64(0)
+	for _, name := range []string{"backup-a.img", "backup-b.img"} {
+		path := filepath.Join(dir, name)
+		buf := make([]byte, 32)
+		f, err := os.Open(path)
+		if err != nil {
+			continue
+		}
+		_, err = f.ReadAt(buf, 0)
+		f.Close()
+		if err != nil {
+			continue
+		}
+		epoch := binary.LittleEndian.Uint64(buf[13:]) // header layout: see internal/disk
+		if epoch >= bestEpoch {
+			bestEpoch, bestPath = epoch, path
+		}
+	}
+	if bestPath == "" {
+		log.Fatal("no backup images found")
+	}
+	return bestPath
+}

@@ -1,0 +1,73 @@
+// Quickstart: make per-tick game state durable with the checkpointing
+// engine, then crash-recover it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Game state: 10,000 game objects with 8 attributes of 4 bytes each,
+	// checkpointed at 512-byte atomic-object (disk sector) granularity.
+	table := repro.Table{Rows: 10_000, Cols: 8, CellSize: 4, ObjSize: 512}
+
+	// Copy-on-Update is the paper's recommended method: dirty objects only,
+	// pre-image copies on first update, double backup on disk.
+	eng, err := repro.OpenEngine(repro.EngineOptions{
+		Table:         table,
+		Dir:           dir,
+		Mode:          repro.ModeCopyOnUpdate,
+		SyncEveryTick: true, // every tick durable before it is acknowledged
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The simulation loop: one ApplyTick per game tick with that tick's
+	// updates. Here, object i's attribute 0 tracks the tick number.
+	for tick := 0; tick < 100; tick++ {
+		batch := []repro.Update{
+			{Cell: table.Cell(tick%1000, 0), Value: uint32(tick)},
+			{Cell: table.Cell(500, 1), Value: uint32(tick * 7)},
+		}
+		if err := eng.ApplyTick(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := eng.CheckpointStats()
+	fmt.Printf("applied 100 ticks; %d checkpoints completed, %d bytes written\n",
+		st.Checkpoints.Load(), st.BytesWritten.Load())
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// "Crash" and recover: reopening the directory restores the newest
+	// complete checkpoint image and replays the logical log to the exact
+	// crash tick.
+	eng2, err := repro.OpenEngine(repro.EngineOptions{
+		Table: table, Dir: dir, Mode: repro.ModeCopyOnUpdate,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng2.Close()
+
+	rec := eng2.Recovery()
+	fmt.Printf("recovered: restored image as of tick %d, replayed %d ticks, next tick %d\n",
+		rec.AsOfTick, rec.ReplayedTicks, rec.NextTick)
+	fmt.Printf("object 99 attr 0 = %d (want 99)\n", eng2.Store().Cell(table.Cell(99, 0)))
+	fmt.Printf("object 500 attr 1 = %d (want %d)\n",
+		eng2.Store().Cell(table.Cell(500, 1)), 99*7)
+}

@@ -1,0 +1,445 @@
+package checkpoint
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/costmodel"
+)
+
+// Counters tallies the primitive operations a method performs; the simulator
+// uses them for invariant checks and cost breakdowns.
+type Counters struct {
+	// BitTests counts dirty-bit tests/sets charged at Obit each.
+	BitTests int64
+	// Locks counts lock acquisitions charged at Olock each.
+	Locks int64
+	// Copies counts single-object in-memory copies performed by
+	// Handle-Update (lazy methods only).
+	Copies int64
+	// EagerObjects counts objects copied synchronously by Copy-To-Memory.
+	EagerObjects int64
+	// ObjectsWritten counts objects flushed to stable storage by completed
+	// checkpoints.
+	ObjectsWritten int64
+	// BytesWritten counts bytes flushed by completed checkpoints.
+	BytesWritten int64
+}
+
+// beginInfo describes one checkpoint as planned at its Begin: the
+// synchronous pause charged to the current tick, the asynchronous flush
+// duration, and what will be written.
+type beginInfo struct {
+	syncPause float64
+	flushTime float64
+	objects   int
+	groups    int
+	bytes     int64
+	full      bool
+}
+
+// algorithm is the per-method state machine behind the Checkpointing
+// Algorithmic Framework. The simulator calls begin at a quiescent tick end
+// when no checkpoint is active, update for every atomic-object update, and
+// finish when the asynchronous flush has completed.
+type algorithm interface {
+	method() Method
+	begin(now float64) beginInfo
+	update(obj int32, now float64) float64
+	finish()
+	counters() *Counters
+}
+
+// base carries the state shared by all six methods.
+type base struct {
+	p     costmodel.Params
+	n     int
+	ctr   Counters
+	inCkp bool
+
+	flushStart float64 // wall time the asynchronous flush begins
+	objRate    float64 // disk cursor speed in objects (sectors) per second
+	copy1      float64 // cached ΔTsync(1): Omem + Sobj/Bmem
+}
+
+func newBase(p costmodel.Params, n int) base {
+	return base{
+		p:       p,
+		n:       n,
+		objRate: p.DiskBandwidth / float64(p.ObjSize),
+		copy1:   p.SyncCopy(1, 1),
+	}
+}
+
+func (b *base) counters() *Counters { return &b.ctr }
+func (b *base) finish()             { b.inCkp = false }
+
+// cursor returns how many sectors the disk has passed since the flush began.
+func (b *base) cursor(now float64) float64 {
+	d := now - b.flushStart
+	if d < 0 {
+		return 0
+	}
+	return d * b.objRate
+}
+
+// dribbleTouch implements the Handle-Update of Dribble-and-Copy-on-Update
+// (also used by the partial-redo methods during their periodic full passes):
+// on the first touch of an object that the dribbling writer has not yet
+// flushed, lock out the writer and save the old value. done marks objects
+// already copied or observed flushed. The caller has already charged Obit.
+func (b *base) dribbleTouch(done *bitset.Set, obj int32, now float64) float64 {
+	i := int(obj)
+	if done.Test(i) {
+		return 0
+	}
+	done.Set(i)
+	if float64(obj) < b.cursor(now) {
+		// The writer already flushed this object's checkpoint-consistent
+		// value; the update needs no pre-image copy.
+		return 0
+	}
+	b.ctr.Locks++
+	b.ctr.Copies++
+	return b.p.LockOverhead + b.copy1
+}
+
+// naive implements Naive-Snapshot: quiesce, eagerly copy everything, flush
+// asynchronously to a double backup.
+type naive struct{ base }
+
+func newNaive(p costmodel.Params, n int) *naive { return &naive{newBase(p, n)} }
+
+func (a *naive) method() Method { return NaiveSnapshot }
+
+func (a *naive) begin(now float64) beginInfo {
+	a.inCkp = true
+	sync := a.p.SyncCopy(1, a.n)
+	a.ctr.EagerObjects += int64(a.n)
+	a.flushStart = now + sync
+	return beginInfo{
+		syncPause: sync,
+		flushTime: a.p.AsyncDoubleBackup(a.n, a.n),
+		objects:   a.n,
+		groups:    1,
+		bytes:     int64(a.n) * int64(a.p.ObjSize),
+		full:      true,
+	}
+}
+
+// update is a no-op: Naive-Snapshot keeps no per-object bookkeeping.
+func (a *naive) update(int32, float64) float64 { return 0 }
+
+// dribble implements Dribble-and-Copy-on-Update: an asynchronous process
+// iterates over all objects flushing each exactly once per checkpoint;
+// updates to not-yet-flushed objects save the old value first. The real
+// implementation avoids resetting bits between checkpoints by inverting the
+// interpretation of the bit [24]; the simulator resets the bitmap at begin,
+// which is semantically identical and free under the cost model (the
+// engine's implementation uses the inversion trick for real).
+type dribble struct {
+	base
+	done *bitset.Set
+}
+
+func newDribble(p costmodel.Params, n int) *dribble {
+	return &dribble{base: newBase(p, n), done: bitset.New(n)}
+}
+
+func (a *dribble) method() Method { return DribbleCopyOnUpdate }
+
+func (a *dribble) begin(now float64) beginInfo {
+	a.inCkp = true
+	a.done.Reset()
+	a.flushStart = now
+	return beginInfo{
+		flushTime: a.p.AsyncLog(a.n),
+		objects:   a.n,
+		groups:    0,
+		bytes:     int64(a.n) * int64(a.p.ObjSize),
+		full:      true,
+	}
+}
+
+func (a *dribble) update(obj int32, now float64) float64 {
+	if !a.inCkp {
+		return 0 // no handler registered between checkpoints
+	}
+	a.ctr.BitTests++
+	return a.p.BitTest + a.dribbleTouch(a.done, obj, now)
+}
+
+// atomicCopy implements Atomic-Copy-Dirty-Objects: eagerly copy the objects
+// dirty with respect to the backup being written, flush them with sorted
+// writes into the double backup.
+type atomicCopy struct {
+	base
+	dirty [2]*bitset.Set
+	cur   int
+}
+
+func newAtomicCopy(p costmodel.Params, n int) *atomicCopy {
+	a := &atomicCopy{base: newBase(p, n)}
+	for i := range a.dirty {
+		a.dirty[i] = bitset.New(n)
+		a.dirty[i].SetAll() // nothing has ever been written to either backup
+	}
+	return a
+}
+
+func (a *atomicCopy) method() Method { return AtomicCopyDirtyObjects }
+
+func (a *atomicCopy) begin(now float64) beginInfo {
+	a.inCkp = true
+	ws := a.dirty[a.cur]
+	k := ws.Count()
+	groups := ws.Runs()
+	sync := a.p.SyncCopy(groups, k)
+	a.ctr.EagerObjects += int64(k)
+	ws.Reset()
+	a.cur ^= 1
+	a.flushStart = now + sync
+	return beginInfo{
+		syncPause: sync,
+		flushTime: a.p.AsyncDoubleBackup(k, a.n),
+		objects:   k,
+		groups:    groups,
+		bytes:     int64(k) * int64(a.p.ObjSize),
+		full:      k == a.n,
+	}
+}
+
+func (a *atomicCopy) update(obj int32, _ float64) float64 {
+	// Updates mark the object dirty for both backups; the eager copy at the
+	// next begin does the rest.
+	a.ctr.BitTests++
+	a.dirty[0].Set(int(obj))
+	a.dirty[1].Set(int(obj))
+	return a.p.BitTest
+}
+
+// partialRedo implements Partial-Redo: eagerly copy dirty objects and append
+// them to a log; every fullEvery checkpoints, write the complete state using
+// a Dribble-and-Copy-on-Update pass to bound the log segment recovery must
+// read.
+type partialRedo struct {
+	base
+	dirty     *bitset.Set
+	done      *bitset.Set // dribble bookkeeping during full passes
+	ckptIdx   int
+	fullEvery int
+	inFull    bool
+}
+
+func newPartialRedo(p costmodel.Params, n, fullEvery int) *partialRedo {
+	return &partialRedo{
+		base:      newBase(p, n),
+		dirty:     bitset.New(n),
+		done:      bitset.New(n),
+		fullEvery: fullEvery,
+	}
+}
+
+func (a *partialRedo) method() Method { return PartialRedo }
+
+func (a *partialRedo) begin(now float64) beginInfo {
+	a.inCkp = true
+	full := a.ckptIdx%a.fullEvery == 0
+	a.ckptIdx++
+	a.inFull = full
+	if full {
+		a.dirty.Reset() // image is consistent as of now
+		a.done.Reset()
+		a.flushStart = now
+		return beginInfo{
+			flushTime: a.p.AsyncLog(a.n),
+			objects:   a.n,
+			bytes:     int64(a.n) * int64(a.p.ObjSize),
+			full:      true,
+		}
+	}
+	k := a.dirty.Count()
+	groups := a.dirty.Runs()
+	sync := a.p.SyncCopy(groups, k)
+	a.ctr.EagerObjects += int64(k)
+	a.dirty.Reset()
+	a.flushStart = now + sync
+	return beginInfo{
+		syncPause: sync,
+		flushTime: a.p.AsyncLog(k),
+		objects:   k,
+		groups:    groups,
+		bytes:     int64(k) * int64(a.p.ObjSize),
+	}
+}
+
+func (a *partialRedo) update(obj int32, now float64) float64 {
+	a.ctr.BitTests++
+	a.dirty.Set(int(obj))
+	cost := a.p.BitTest
+	if a.inCkp && a.inFull {
+		cost += a.dribbleTouch(a.done, obj, now)
+	}
+	return cost
+}
+
+// cou implements Copy-on-Update — the paper's recommended method: dirty
+// objects only, copied on first update while the flush is in flight, written
+// with sorted writes into a double backup.
+type cou struct {
+	base
+	dirty    [2]*bitset.Set
+	writeSet *bitset.Set // snapshot of the dirty set being flushed
+	handled  *bitset.Set // objects already copied or observed flushed
+	cur      int
+	flushTot float64
+}
+
+func newCOU(p costmodel.Params, n int) *cou {
+	a := &cou{
+		base:     newBase(p, n),
+		writeSet: bitset.New(n),
+		handled:  bitset.New(n),
+	}
+	for i := range a.dirty {
+		a.dirty[i] = bitset.New(n)
+		a.dirty[i].SetAll()
+	}
+	return a
+}
+
+func (a *cou) method() Method { return CopyOnUpdate }
+
+func (a *cou) begin(now float64) beginInfo {
+	a.inCkp = true
+	a.writeSet.CopyFrom(a.dirty[a.cur])
+	k := a.writeSet.Count()
+	a.dirty[a.cur].Reset()
+	a.handled.Reset()
+	a.cur ^= 1
+	a.flushStart = now
+	a.flushTot = a.p.AsyncDoubleBackup(k, a.n)
+	return beginInfo{
+		flushTime: a.flushTot,
+		objects:   k,
+		bytes:     int64(k) * int64(a.p.ObjSize),
+		full:      k == a.n,
+	}
+}
+
+func (a *cou) update(obj int32, now float64) float64 {
+	a.ctr.BitTests++
+	i := int(obj)
+	a.dirty[0].Set(i)
+	a.dirty[1].Set(i)
+	cost := a.p.BitTest
+	if !a.inCkp || !a.writeSet.Test(i) || a.handled.Test(i) {
+		return cost
+	}
+	a.handled.Set(i)
+	// The double-backup writer sweeps the whole file in offset order; the
+	// object is already safe on disk once the sweep has passed its offset.
+	if float64(obj) < a.cursor(now) {
+		return cost
+	}
+	a.ctr.Locks++
+	a.ctr.Copies++
+	return cost + a.p.LockOverhead + a.copy1
+}
+
+// couPartialRedo implements Copy-on-Update-Partial-Redo: copy on update,
+// dirty objects appended to a log (sequential writes of only the dirty set),
+// with periodic Dribble-style full checkpoints.
+type couPartialRedo struct {
+	base
+	dirty     *bitset.Set
+	writeRank *bitset.Rank // snapshot+rank of the set being flushed
+	handled   *bitset.Set
+	done      *bitset.Set // dribble bookkeeping during full passes
+	ckptIdx   int
+	fullEvery int
+	inFull    bool
+}
+
+func newCOUPartialRedo(p costmodel.Params, n, fullEvery int) *couPartialRedo {
+	return &couPartialRedo{
+		base:      newBase(p, n),
+		dirty:     bitset.New(n),
+		handled:   bitset.New(n),
+		done:      bitset.New(n),
+		fullEvery: fullEvery,
+	}
+}
+
+func (a *couPartialRedo) method() Method { return CopyOnUpdatePartialRedo }
+
+func (a *couPartialRedo) begin(now float64) beginInfo {
+	a.inCkp = true
+	full := a.ckptIdx%a.fullEvery == 0
+	a.ckptIdx++
+	a.inFull = full
+	a.flushStart = now
+	if full {
+		a.dirty.Reset()
+		a.done.Reset()
+		a.writeRank = nil
+		return beginInfo{
+			flushTime: a.p.AsyncLog(a.n),
+			objects:   a.n,
+			bytes:     int64(a.n) * int64(a.p.ObjSize),
+			full:      true,
+		}
+	}
+	a.writeRank = bitset.NewRank(a.dirty)
+	k := a.writeRank.Total()
+	a.dirty.Reset()
+	a.handled.Reset()
+	return beginInfo{
+		flushTime: a.p.AsyncLog(k),
+		objects:   k,
+		bytes:     int64(k) * int64(a.p.ObjSize),
+	}
+}
+
+func (a *couPartialRedo) update(obj int32, now float64) float64 {
+	a.ctr.BitTests++
+	i := int(obj)
+	a.dirty.Set(i)
+	cost := a.p.BitTest
+	if !a.inCkp {
+		return cost
+	}
+	if a.inFull {
+		return cost + a.dribbleTouch(a.done, obj, now)
+	}
+	if !a.writeRank.Test(i) || a.handled.Test(i) {
+		return cost
+	}
+	a.handled.Set(i)
+	// The log writer emits the write set in offset order: the object is
+	// flushed once the writer has emitted more objects than precede it.
+	if float64(a.writeRank.Rank(i)) < a.cursor(now) {
+		return cost
+	}
+	a.ctr.Locks++
+	a.ctr.Copies++
+	return cost + a.p.LockOverhead + a.copy1
+}
+
+// newAlgorithm constructs the state machine for a method.
+func newAlgorithm(m Method, p costmodel.Params, n, fullEvery int) algorithm {
+	switch m {
+	case NaiveSnapshot:
+		return newNaive(p, n)
+	case DribbleCopyOnUpdate:
+		return newDribble(p, n)
+	case AtomicCopyDirtyObjects:
+		return newAtomicCopy(p, n)
+	case PartialRedo:
+		return newPartialRedo(p, n, fullEvery)
+	case CopyOnUpdate:
+		return newCOU(p, n)
+	case CopyOnUpdatePartialRedo:
+		return newCOUPartialRedo(p, n, fullEvery)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,198 @@
+// Package checkpoint implements the paper's primary contribution: the
+// Checkpointing Algorithmic Framework of Section 4.1 and the six consistent
+// checkpointing algorithms of Section 3.2 (Table 1), driven by a
+// tick-granular simulator that charges costs according to the model of
+// Section 4.2.
+//
+// The simulator, like the paper's, performs no real I/O and no real memory
+// copies: it tracks which atomic objects are dirty, copied, and flushed, and
+// computes the time those operations would take on the modeled hardware.
+// The real (actually-copying, actually-writing) implementation of the two
+// recommended algorithms lives in internal/engine and is used to validate
+// this simulation (Section 6).
+package checkpoint
+
+// Method identifies one of the six checkpoint recovery algorithms evaluated
+// in the paper (Table 1).
+type Method int
+
+const (
+	// NaiveSnapshot quiesces the game at the end of a tick, eagerly copies
+	// the whole state in memory and flushes it asynchronously.
+	NaiveSnapshot Method = iota
+	// DribbleCopyOnUpdate ("Dribble-and-Copy-on-Update") flushes every
+	// object exactly once per checkpoint from an asynchronous dribbling
+	// process, copying an object's old value only when it is updated before
+	// it has been flushed.
+	DribbleCopyOnUpdate
+	// AtomicCopyDirtyObjects eagerly copies only the objects dirtied since
+	// the backup being written last received them, into a double-backup
+	// organization with sorted writes.
+	AtomicCopyDirtyObjects
+	// PartialRedo eagerly copies dirty objects and appends them to a log;
+	// every FullEvery checkpoints it writes the whole state with a
+	// Dribble-style pass to bound recovery-time log reads.
+	PartialRedo
+	// CopyOnUpdate copies dirty objects on first update and writes them to a
+	// double backup — the paper's recommended method.
+	CopyOnUpdate
+	// CopyOnUpdatePartialRedo combines copy on update with a log-based disk
+	// organization, with periodic Dribble-style full checkpoints.
+	CopyOnUpdatePartialRedo
+)
+
+// Methods returns all six algorithms in the paper's presentation order.
+func Methods() []Method {
+	return []Method{
+		NaiveSnapshot, DribbleCopyOnUpdate, AtomicCopyDirtyObjects,
+		PartialRedo, CopyOnUpdate, CopyOnUpdatePartialRedo,
+	}
+}
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case NaiveSnapshot:
+		return "Naive-Snapshot"
+	case DribbleCopyOnUpdate:
+		return "Dribble-and-Copy-on-Update"
+	case AtomicCopyDirtyObjects:
+		return "Atomic-Copy-Dirty-Objects"
+	case PartialRedo:
+		return "Partial-Redo"
+	case CopyOnUpdate:
+		return "Copy-on-Update"
+	case CopyOnUpdatePartialRedo:
+		return "Copy-on-Update-Partial-Redo"
+	default:
+		return "unknown-method"
+	}
+}
+
+// ShortName returns the abbreviated label used in Figure 5's bar charts.
+func (m Method) ShortName() string {
+	switch m {
+	case NaiveSnapshot:
+		return "Naive-Snapshot"
+	case DribbleCopyOnUpdate:
+		return "Dribble-Copy"
+	case AtomicCopyDirtyObjects:
+		return "Atomic-Copy"
+	case PartialRedo:
+		return "Partial-Redo"
+	case CopyOnUpdate:
+		return "Copy-On-Update"
+	case CopyOnUpdatePartialRedo:
+		return "COU-PartialRedo"
+	default:
+		return "unknown"
+	}
+}
+
+// CopyTiming is the in-memory copy timing dimension of Table 1.
+type CopyTiming int
+
+const (
+	// EagerCopy methods copy the checkpointed state synchronously at a tick
+	// boundary.
+	EagerCopy CopyTiming = iota
+	// OnUpdateCopy methods copy an object's pre-image only when the object
+	// is first updated during an ongoing checkpoint.
+	OnUpdateCopy
+)
+
+func (c CopyTiming) String() string {
+	if c == EagerCopy {
+		return "eager copy"
+	}
+	return "copy on update"
+}
+
+// ObjectsCopied is the objects-copied dimension of Table 1.
+type ObjectsCopied int
+
+const (
+	// AllObjects methods include the entire game state in every checkpoint.
+	AllObjects ObjectsCopied = iota
+	// DirtyObjects methods checkpoint only state changed since the relevant
+	// previous image.
+	DirtyObjects
+)
+
+func (o ObjectsCopied) String() string {
+	if o == AllObjects {
+		return "all objects"
+	}
+	return "dirty objects"
+}
+
+// DiskOrg is the on-disk data organization dimension of Table 1.
+type DiskOrg int
+
+const (
+	// DoubleBackup alternates between two disk-resident images so a
+	// consistent one always exists; writes are sorted by offset.
+	DoubleBackup DiskOrg = iota
+	// LogOrg appends checkpoints to a sequential log.
+	LogOrg
+)
+
+func (d DiskOrg) String() string {
+	if d == DoubleBackup {
+		return "double backup"
+	}
+	return "log"
+}
+
+// Classification places a method in the three-dimensional design space of
+// Table 1.
+type Classification struct {
+	Method  Method
+	Timing  CopyTiming
+	Objects ObjectsCopied
+	Disk    DiskOrg
+}
+
+// Taxonomy returns Table 1: how the six algorithms fit the design space.
+func Taxonomy() []Classification {
+	return []Classification{
+		{NaiveSnapshot, EagerCopy, AllObjects, DoubleBackup},
+		{DribbleCopyOnUpdate, OnUpdateCopy, AllObjects, LogOrg},
+		{AtomicCopyDirtyObjects, EagerCopy, DirtyObjects, DoubleBackup},
+		{PartialRedo, EagerCopy, DirtyObjects, LogOrg},
+		{CopyOnUpdate, OnUpdateCopy, DirtyObjects, DoubleBackup},
+		{CopyOnUpdatePartialRedo, OnUpdateCopy, DirtyObjects, LogOrg},
+	}
+}
+
+// Classify returns the classification of a single method.
+func Classify(m Method) Classification {
+	for _, c := range Taxonomy() {
+		if c.Method == m {
+			return c
+		}
+	}
+	return Classification{Method: m}
+}
+
+// SubroutineRow is one row of Table 2: how a method implements the four
+// subroutines of the Checkpointing Algorithmic Framework.
+type SubroutineRow struct {
+	Method                     Method
+	CopyToMemory               string
+	WriteCopiesToStableStorage string
+	HandleUpdate               string
+	WriteObjectsToStable       string
+}
+
+// SubroutineTable returns Table 2.
+func SubroutineTable() []SubroutineRow {
+	return []SubroutineRow{
+		{NaiveSnapshot, "All objects", "All objects, log", "No-op", "No-op"},
+		{DribbleCopyOnUpdate, "No-op", "No-op", "First touched, all", "All objects, log"},
+		{AtomicCopyDirtyObjects, "Dirty objects", "Dirty objects, double backup", "No-op", "No-op"},
+		{PartialRedo, "Dirty objects", "Dirty objects, log", "No-op", "No-op"},
+		{CopyOnUpdate, "No-op", "No-op", "First touched, dirty", "Dirty objects, double backup"},
+		{CopyOnUpdatePartialRedo, "No-op", "No-op", "First touched, dirty", "Dirty objects, log"},
+	}
+}

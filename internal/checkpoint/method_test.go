@@ -1,0 +1,114 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMethodsCoverAllSix(t *testing.T) {
+	ms := Methods()
+	if len(ms) != 6 {
+		t.Fatalf("Methods() returned %d methods, want 6", len(ms))
+	}
+	seen := map[Method]bool{}
+	for _, m := range ms {
+		if seen[m] {
+			t.Errorf("method %v listed twice", m)
+		}
+		seen[m] = true
+		if m.String() == "unknown-method" {
+			t.Errorf("method %d has no name", int(m))
+		}
+		if m.ShortName() == "unknown" {
+			t.Errorf("method %d has no short name", int(m))
+		}
+	}
+}
+
+func TestMethodNamesMatchPaper(t *testing.T) {
+	want := map[Method]string{
+		NaiveSnapshot:           "Naive-Snapshot",
+		DribbleCopyOnUpdate:     "Dribble-and-Copy-on-Update",
+		AtomicCopyDirtyObjects:  "Atomic-Copy-Dirty-Objects",
+		PartialRedo:             "Partial-Redo",
+		CopyOnUpdate:            "Copy-on-Update",
+		CopyOnUpdatePartialRedo: "Copy-on-Update-Partial-Redo",
+	}
+	for m, name := range want {
+		if got := m.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, name)
+		}
+	}
+	if Method(99).String() != "unknown-method" {
+		t.Error("unknown method should stringify defensively")
+	}
+}
+
+// TestTaxonomyMatchesTable1 pins the design-space classification of Table 1.
+func TestTaxonomyMatchesTable1(t *testing.T) {
+	tax := Taxonomy()
+	if len(tax) != 6 {
+		t.Fatalf("taxonomy has %d entries, want 6", len(tax))
+	}
+	want := map[Method]Classification{
+		NaiveSnapshot:           {NaiveSnapshot, EagerCopy, AllObjects, DoubleBackup},
+		DribbleCopyOnUpdate:     {DribbleCopyOnUpdate, OnUpdateCopy, AllObjects, LogOrg},
+		AtomicCopyDirtyObjects:  {AtomicCopyDirtyObjects, EagerCopy, DirtyObjects, DoubleBackup},
+		PartialRedo:             {PartialRedo, EagerCopy, DirtyObjects, LogOrg},
+		CopyOnUpdate:            {CopyOnUpdate, OnUpdateCopy, DirtyObjects, DoubleBackup},
+		CopyOnUpdatePartialRedo: {CopyOnUpdatePartialRedo, OnUpdateCopy, DirtyObjects, LogOrg},
+	}
+	for _, c := range tax {
+		if c != want[c.Method] {
+			t.Errorf("classification of %v = %+v, want %+v", c.Method, c, want[c.Method])
+		}
+		if got := Classify(c.Method); got != c {
+			t.Errorf("Classify(%v) = %+v, want %+v", c.Method, got, c)
+		}
+	}
+}
+
+// TestSubroutineTableMatchesTable2 pins Table 2: which subroutines are
+// no-ops for which method.
+func TestSubroutineTableMatchesTable2(t *testing.T) {
+	rows := SubroutineTable()
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	byMethod := map[Method]SubroutineRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	// Eager methods implement Copy-To-Memory and leave Handle-Update a no-op;
+	// lazy methods do the reverse.
+	for _, m := range []Method{NaiveSnapshot, AtomicCopyDirtyObjects, PartialRedo} {
+		r := byMethod[m]
+		if r.CopyToMemory == "No-op" {
+			t.Errorf("%v: eager method with no-op Copy-To-Memory", m)
+		}
+		if r.HandleUpdate != "No-op" {
+			t.Errorf("%v: eager method with active Handle-Update", m)
+		}
+	}
+	for _, m := range []Method{DribbleCopyOnUpdate, CopyOnUpdate, CopyOnUpdatePartialRedo} {
+		r := byMethod[m]
+		if r.CopyToMemory != "No-op" {
+			t.Errorf("%v: lazy method with active Copy-To-Memory", m)
+		}
+		if !strings.HasPrefix(r.HandleUpdate, "First touched") {
+			t.Errorf("%v: Handle-Update = %q, want first-touch behavior", m, r.HandleUpdate)
+		}
+	}
+}
+
+func TestDimensionStrings(t *testing.T) {
+	if EagerCopy.String() == OnUpdateCopy.String() {
+		t.Error("copy timings not distinguished")
+	}
+	if AllObjects.String() == DirtyObjects.String() {
+		t.Error("objects-copied values not distinguished")
+	}
+	if DoubleBackup.String() == LogOrg.String() {
+		t.Error("disk organizations not distinguished")
+	}
+}

@@ -1,0 +1,327 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/costmodel"
+	"repro/internal/gamestate"
+	"repro/internal/trace"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	// Params is the hardware/game cost model (Table 3 defaults).
+	Params costmodel.Params
+	// Table is the game state geometry (Table 4 defaults).
+	Table gamestate.Table
+	// FullEvery is C: the partial-redo methods write a full checkpoint
+	// every C checkpoints (Section 4.2). Defaults to 10.
+	FullEvery int
+	// KeepSeries retains the per-tick overhead series in the Result (needed
+	// for the Figure 3 latency timeline). Aggregates are always computed.
+	KeepSeries bool
+}
+
+// DefaultConfig returns the paper's default setting.
+func DefaultConfig() Config {
+	return Config{
+		Params:    costmodel.Default(),
+		Table:     gamestate.Default(),
+		FullEvery: 10,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.FullEvery == 0 {
+		c.FullEvery = 10
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Table.Validate(); err != nil {
+		return err
+	}
+	if c.FullEvery < 0 {
+		return errors.New("checkpoint: FullEvery must be non-negative")
+	}
+	if c.Params.ObjSize != c.Table.ObjSize {
+		return fmt.Errorf("checkpoint: params object size %d != table object size %d",
+			c.Params.ObjSize, c.Table.ObjSize)
+	}
+	return nil
+}
+
+// CheckpointStat records one completed checkpoint.
+type CheckpointStat struct {
+	// Start is the wall time of the Begin (end of the starting tick).
+	Start float64
+	// Duration is sync pause + asynchronous flush time.
+	Duration float64
+	// Period is the time since the previous checkpoint's Start (0 for the
+	// first checkpoint).
+	Period float64
+	// Objects is the number of atomic objects written.
+	Objects int
+	// Bytes is the number of bytes written.
+	Bytes int64
+	// SyncPause is the synchronous in-memory copy time charged to the game.
+	SyncPause float64
+	// Full marks complete-state images (always true for the non-partial-redo
+	// methods; periodic for the partial-redo ones).
+	Full bool
+}
+
+// Result aggregates a simulation run for one method.
+type Result struct {
+	Method Method
+	Ticks  int
+	// TickLen is the nominal tick length (1/Ftick).
+	TickLen float64
+
+	// TickOverheads holds the per-tick overhead when Config.KeepSeries is
+	// set; TickLength(i) = TickLen + TickOverheads[i].
+	TickOverheads []float64
+
+	// AvgOverhead is the mean per-tick overhead in seconds — the y-axis of
+	// Figures 2(a), 4(a) and 5(a).
+	AvgOverhead float64
+	// MaxOverhead is the largest single-tick overhead (the latency peak).
+	MaxOverhead   float64
+	TotalOverhead float64
+
+	// Checkpoints lists completed checkpoints (the in-flight one at the end
+	// of the run is not counted).
+	Checkpoints []CheckpointStat
+	// AvgCheckpointTime is the mean checkpoint duration — the y-axis of
+	// Figures 2(b), 4(b) and 5(b).
+	AvgCheckpointTime   float64
+	AvgCheckpointPeriod float64
+	// AvgObjects is the mean number of objects written per checkpoint;
+	// AvgPartialObjects averages only non-full checkpoints (k in the
+	// ΔTrestore formula of the partial-redo methods).
+	AvgObjects        float64
+	AvgPartialObjects float64
+
+	// RestoreTime, ReplayTime and RecoveryTime are the Section 4.2
+	// estimates; RecoveryTime is the y-axis of Figures 2(c), 4(c) and 5(c).
+	RestoreTime  float64
+	ReplayTime   float64
+	RecoveryTime float64
+
+	Counters Counters
+}
+
+// TickLength returns the stretched length of tick i (requires KeepSeries).
+func (r *Result) TickLength(i int) float64 { return r.TickLen + r.TickOverheads[i] }
+
+// Simulator drives one method through a trace, tick by tick.
+type Simulator struct {
+	cfg   Config
+	alg   algorithm
+	table gamestate.Table
+
+	cellsPerObj uint32
+	wall        float64
+	tickLen     float64
+	active      bool
+	cur         beginInfo
+	curStart    float64
+	flushEnd    float64
+
+	res    Result
+	objBuf []int32
+
+	sumCkptDur, sumCkptPeriod float64
+	sumObjects                int64
+	partialObjects            int64
+	partialCount              int
+}
+
+// New returns a Simulator for method m.
+func New(m Method, cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	alg := newAlgorithm(m, cfg.Params, cfg.Table.NumObjects(), cfg.FullEvery)
+	if alg == nil {
+		return nil, fmt.Errorf("checkpoint: unknown method %d", int(m))
+	}
+	return &Simulator{
+		cfg:         cfg,
+		alg:         alg,
+		table:       cfg.Table,
+		cellsPerObj: uint32(cfg.Table.CellsPerObject()),
+		tickLen:     cfg.Params.TickLen(),
+		res:         Result{Method: m, TickLen: cfg.Params.TickLen()},
+	}, nil
+}
+
+// Method returns the simulated method.
+func (s *Simulator) Method() Method { return s.alg.method() }
+
+// TickCells processes one tick whose updates are given as cell indices.
+func (s *Simulator) TickCells(cells []uint32) {
+	s.objBuf = s.objBuf[:0]
+	for _, c := range cells {
+		s.objBuf = append(s.objBuf, int32(c/s.cellsPerObj))
+	}
+	s.TickObjects(s.objBuf)
+}
+
+// TickObjects processes one tick whose updates are given as atomic-object
+// indices (use this to share the cell→object mapping across simulators).
+func (s *Simulator) TickObjects(objs []int32) {
+	tickStart := s.wall
+	overhead := 0.0
+	for _, obj := range objs {
+		overhead += s.alg.update(obj, tickStart)
+	}
+	wallEnd := tickStart + s.tickLen + overhead
+
+	// End-of-tick checkpoint management (the Checkpointing Algorithmic
+	// Framework): finish a flush that completed during this tick, then — if
+	// the last checkpoint finished — synchronously begin the next one.
+	if s.active && s.flushEnd <= wallEnd {
+		s.completeCheckpoint()
+	}
+	if !s.active {
+		info := s.alg.begin(wallEnd)
+		s.active = true
+		s.cur = info
+		s.curStart = wallEnd
+		s.flushEnd = wallEnd + info.syncPause + info.flushTime
+		overhead += info.syncPause
+		wallEnd += info.syncPause
+	}
+
+	if s.cfg.KeepSeries {
+		s.res.TickOverheads = append(s.res.TickOverheads, overhead)
+	}
+	s.res.TotalOverhead += overhead
+	if overhead > s.res.MaxOverhead {
+		s.res.MaxOverhead = overhead
+	}
+	s.res.Ticks++
+	s.wall = wallEnd
+}
+
+func (s *Simulator) completeCheckpoint() {
+	s.active = false
+	s.alg.finish()
+	stat := CheckpointStat{
+		Start:     s.curStart,
+		Duration:  s.cur.syncPause + s.cur.flushTime,
+		Objects:   s.cur.objects,
+		Bytes:     s.cur.bytes,
+		SyncPause: s.cur.syncPause,
+		Full:      s.cur.full,
+	}
+	if n := len(s.res.Checkpoints); n > 0 {
+		stat.Period = s.curStart - s.res.Checkpoints[n-1].Start
+	}
+	s.res.Checkpoints = append(s.res.Checkpoints, stat)
+	s.sumCkptDur += stat.Duration
+	s.sumCkptPeriod += stat.Period
+	s.sumObjects += int64(stat.Objects)
+	if !stat.Full {
+		s.partialObjects += int64(stat.Objects)
+		s.partialCount++
+	}
+	ctr := s.alg.counters()
+	ctr.ObjectsWritten += int64(stat.Objects)
+	ctr.BytesWritten += stat.Bytes
+}
+
+// Finish computes aggregates and returns the result. The simulator must not
+// be used afterwards.
+func (s *Simulator) Finish() *Result {
+	r := &s.res
+	if r.Ticks > 0 {
+		r.AvgOverhead = r.TotalOverhead / float64(r.Ticks)
+	}
+	n := len(r.Checkpoints)
+	if n > 0 {
+		r.AvgCheckpointTime = s.sumCkptDur / float64(n)
+		r.AvgObjects = float64(s.sumObjects) / float64(n)
+		if n > 1 {
+			r.AvgCheckpointPeriod = s.sumCkptPeriod / float64(n-1)
+		}
+	}
+	if s.partialCount > 0 {
+		r.AvgPartialObjects = float64(s.partialObjects) / float64(s.partialCount)
+	}
+
+	// Recovery estimate (Section 4.2). ΔTreplay is the time to checkpoint;
+	// ΔTrestore depends on the disk organization. For the partial-redo
+	// methods, recovery must in the worst case read C partial checkpoints
+	// plus one full image back from the log.
+	p := s.cfg.Params
+	nObj := s.table.NumObjects()
+	switch r.Method {
+	case PartialRedo, CopyOnUpdatePartialRedo:
+		k := r.AvgPartialObjects
+		r.RestoreTime = p.RestoreLog(k, s.cfg.FullEvery, nObj)
+	default:
+		r.RestoreTime = p.RestoreFull(nObj)
+	}
+	r.ReplayTime = r.AvgCheckpointTime
+	r.RecoveryTime = p.Recovery(r.RestoreTime, r.ReplayTime)
+	r.Counters = *s.alg.counters()
+	return r
+}
+
+// Run drives method m over an entire trace and returns its result.
+func Run(m Method, cfg Config, src trace.Source) (*Result, error) {
+	results, err := RunAll([]Method{m}, cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunAll drives several methods over the same trace in one pass,
+// materializing each tick's updates once and mapping cells to atomic objects
+// once. This is how the experiment harness compares the six algorithms on
+// identical workloads.
+func RunAll(methods []Method, cfg Config, src trace.Source) ([]*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src.NumCells() > cfg.Table.NumCells() {
+		return nil, fmt.Errorf("checkpoint: trace addresses %d cells but table has %d",
+			src.NumCells(), cfg.Table.NumCells())
+	}
+	sims := make([]*Simulator, len(methods))
+	for i, m := range methods {
+		var err error
+		if sims[i], err = New(m, cfg); err != nil {
+			return nil, err
+		}
+	}
+	cellsPerObj := uint32(cfg.Table.CellsPerObject())
+	var cells []uint32
+	var objs []int32
+	for t := 0; t < src.NumTicks(); t++ {
+		cells = src.AppendTick(t, cells[:0])
+		objs = objs[:0]
+		for _, c := range cells {
+			objs = append(objs, int32(c/cellsPerObj))
+		}
+		for _, s := range sims {
+			s.TickObjects(objs)
+		}
+	}
+	results := make([]*Result, len(sims))
+	for i, s := range sims {
+		results[i] = s.Finish()
+	}
+	return results, nil
+}

@@ -1,0 +1,601 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// testConfig returns a scaled-down configuration (1/10th of Table 4) that
+// keeps the paper's proportions: full-state flush ≈ 20 ticks.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Table.Rows = 100_000 // 1M cells → 7813 objects → 4 MB state
+	cfg.Params.DiskBandwidth = 6e6
+	cfg.Params.MemBandwidth = 2.2e8
+	cfg.KeepSeries = true
+	return cfg
+}
+
+func zipfSource(t *testing.T, cfg Config, updates, ticks int, skew float64) trace.Source {
+	t.Helper()
+	src, err := trace.NewZipfian(trace.ZipfianConfig{
+		Table:          cfg.Table,
+		UpdatesPerTick: updates,
+		Ticks:          ticks,
+		Skew:           skew,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Params.DiskBandwidth = 0
+	if _, err := New(NaiveSnapshot, cfg); err == nil {
+		t.Error("invalid params accepted")
+	}
+	cfg = testConfig()
+	cfg.Table.ObjSize = 256 // mismatch with params
+	if _, err := New(NaiveSnapshot, cfg); err == nil {
+		t.Error("object size mismatch accepted")
+	}
+	cfg = testConfig()
+	cfg.FullEvery = -1
+	if _, err := New(PartialRedo, cfg); err == nil {
+		t.Error("negative FullEvery accepted")
+	}
+	if _, err := New(Method(42), testConfig()); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestRunAllRejectsOversizedTrace(t *testing.T) {
+	cfg := testConfig()
+	m := trace.NewMemory(cfg.Table.NumCells() + 1)
+	m.Append([]uint32{0})
+	if _, err := RunAll([]Method{NaiveSnapshot}, cfg, m); err == nil {
+		t.Error("trace larger than table accepted")
+	}
+}
+
+func TestNaiveSnapshotExactCosts(t *testing.T) {
+	cfg := testConfig()
+	n := cfg.Table.NumObjects()
+	ticks := 100
+	src := zipfSource(t, cfg, 100, ticks, 0.8)
+	res, err := Run(NaiveSnapshot, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cfg.Params
+	wantSync := p.SyncCopy(1, n)
+	wantFlush := p.AsyncDoubleBackup(n, n)
+
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints completed")
+	}
+	for i, ck := range res.Checkpoints {
+		if math.Abs(ck.SyncPause-wantSync) > 1e-12 {
+			t.Errorf("ckpt %d sync pause = %v, want %v", i, ck.SyncPause, wantSync)
+		}
+		if math.Abs(ck.Duration-(wantSync+wantFlush)) > 1e-9 {
+			t.Errorf("ckpt %d duration = %v, want %v", i, ck.Duration, wantSync+wantFlush)
+		}
+		if ck.Objects != n {
+			t.Errorf("ckpt %d objects = %d, want %d (whole state)", i, ck.Objects, n)
+		}
+		if !ck.Full {
+			t.Errorf("ckpt %d not marked full", i)
+		}
+	}
+	// Naive's only overhead is the pause, concentrated in the begin ticks.
+	nonzero := 0
+	for _, o := range res.TickOverheads {
+		if o > 0 {
+			nonzero++
+			if math.Abs(o-wantSync) > 1e-12 {
+				t.Errorf("naive tick overhead = %v, want %v", o, wantSync)
+			}
+		}
+	}
+	if nonzero != len(res.Checkpoints) && nonzero != len(res.Checkpoints)+1 {
+		t.Errorf("pauses in %d ticks vs %d completed checkpoints",
+			nonzero, len(res.Checkpoints))
+	}
+	if res.Counters.BitTests != 0 || res.Counters.Locks != 0 || res.Counters.Copies != 0 {
+		t.Errorf("naive should not touch bits/locks: %+v", res.Counters)
+	}
+	// Recovery = restore (full read) + replay (≈ checkpoint time).
+	wantRecovery := p.RestoreFull(n) + res.AvgCheckpointTime
+	if math.Abs(res.RecoveryTime-wantRecovery) > 1e-9 {
+		t.Errorf("recovery = %v, want %v", res.RecoveryTime, wantRecovery)
+	}
+}
+
+func TestCheckpointCadence(t *testing.T) {
+	cfg := testConfig()
+	ticks := 200
+	src := zipfSource(t, cfg, 1000, ticks, 0.8)
+	res, err := Run(NaiveSnapshot, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-state flush ≈ 0.67s ≈ 20 ticks: expect roughly ticks/21
+	// checkpoints, ±2.
+	want := float64(ticks) * cfg.Params.TickLen() / res.AvgCheckpointPeriod
+	if got := float64(len(res.Checkpoints)); math.Abs(got-want) > 2 {
+		t.Errorf("%v checkpoints, want ≈%v (period %v)",
+			got, want, res.AvgCheckpointPeriod)
+	}
+	// Periods must be at least the flush duration and at least one tick.
+	for i, ck := range res.Checkpoints[1:] {
+		if ck.Period < cfg.Params.TickLen() {
+			t.Errorf("ckpt %d period %v below one tick", i+1, ck.Period)
+		}
+		if ck.Period+1e-9 < res.Checkpoints[i].Duration {
+			t.Errorf("ckpt %d period %v below previous duration %v",
+				i+1, ck.Period, res.Checkpoints[i].Duration)
+		}
+	}
+}
+
+// TestEachObjectCopiedAtMostOncePerCheckpoint verifies the critical property
+// of Section 3.2: "each object is copied exactly once per checkpoint,
+// regardless of how many times it is updated."
+func TestEachObjectCopiedAtMostOncePerCheckpoint(t *testing.T) {
+	cfg := testConfig()
+	ticks := 120
+	for _, m := range []Method{DribbleCopyOnUpdate, CopyOnUpdate, CopyOnUpdatePartialRedo} {
+		src := zipfSource(t, cfg, 5000, ticks, 0.99) // heavy re-updating of hot objects
+		res, err := Run(m, cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Upper bound: copies ≤ checkpoints × objects (once per object per
+		// checkpoint), counting the in-flight checkpoint too.
+		maxCopies := int64(len(res.Checkpoints)+1) * int64(cfg.Table.NumObjects())
+		if res.Counters.Copies > maxCopies {
+			t.Errorf("%v: %d copies exceed once-per-object bound %d",
+				m, res.Counters.Copies, maxCopies)
+		}
+		if res.Counters.Copies == 0 {
+			t.Errorf("%v: no copies at all (suspicious)", m)
+		}
+		if res.Counters.Locks != res.Counters.Copies {
+			t.Errorf("%v: locks (%d) != copies (%d)", m, res.Counters.Locks, res.Counters.Copies)
+		}
+	}
+}
+
+// TestOverheadEqualsCounterCosts cross-checks the accumulated overhead
+// against the primitive-operation counters for the lazy methods.
+func TestOverheadEqualsCounterCosts(t *testing.T) {
+	cfg := testConfig()
+	ticks := 80
+	p := cfg.Params
+	for _, m := range []Method{DribbleCopyOnUpdate, CopyOnUpdate, CopyOnUpdatePartialRedo} {
+		src := zipfSource(t, cfg, 2000, ticks, 0.8)
+		res, err := Run(m, cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Counters
+		want := float64(c.BitTests)*p.BitTest +
+			float64(c.Locks)*p.LockOverhead +
+			float64(c.Copies)*p.SyncCopy(1, 1)
+		// Lazy methods have no sync pauses, so overhead == handler costs.
+		if rel := math.Abs(res.TotalOverhead-want) / want; rel > 1e-9 {
+			t.Errorf("%v: overhead %v != counter-derived %v", m, res.TotalOverhead, want)
+		}
+	}
+}
+
+// TestEagerOverheadIsPausePlusBits does the same for the eager methods.
+func TestEagerOverheadIsPausePlusBits(t *testing.T) {
+	cfg := testConfig()
+	ticks := 80
+	p := cfg.Params
+	for _, m := range []Method{AtomicCopyDirtyObjects, PartialRedo} {
+		src := zipfSource(t, cfg, 2000, ticks, 0.8)
+		res, err := Run(m, cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pauses := 0.0
+		for _, ck := range res.Checkpoints {
+			pauses += ck.SyncPause
+		}
+		c := res.Counters
+		want := pauses + float64(c.BitTests)*p.BitTest +
+			float64(c.Locks)*p.LockOverhead + float64(c.Copies)*p.SyncCopy(1, 1)
+		// The in-flight checkpoint's pause is charged to a tick but not yet
+		// recorded in Checkpoints; allow for one pause of slack.
+		diff := res.TotalOverhead - want
+		if diff < -1e-9 || diff > p.SyncCopy(cfg.Table.NumObjects(), cfg.Table.NumObjects())+1e-9 {
+			t.Errorf("%v: overhead %v vs derived %v (diff %v)", m, res.TotalOverhead, want, diff)
+		}
+	}
+}
+
+// TestLazySpreadsEagerConcentrates captures the central latency finding
+// (Section 5.2): eager-copy methods concentrate overhead into single-tick
+// pauses while copy-on-update spreads it, so at a fixed total overhead the
+// eager peak is much higher.
+func TestLazySpreadsEagerConcentrates(t *testing.T) {
+	cfg := testConfig()
+	ticks := 150
+	updates := 6400 // scaled analogue of the 64k updates/tick scenario
+	run := func(m Method) *Result {
+		src := zipfSource(t, cfg, updates, ticks, 0.8)
+		res, err := Run(m, cfg, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	naive := run(NaiveSnapshot)
+	couRes := run(CopyOnUpdate)
+	if couRes.MaxOverhead >= naive.MaxOverhead {
+		t.Errorf("COU peak %v should be below naive peak %v",
+			couRes.MaxOverhead, naive.MaxOverhead)
+	}
+	// Naive's peak equals the full-state copy: > half a tick at paper scale.
+	wantPeak := cfg.Params.SyncCopy(1, cfg.Table.NumObjects())
+	if math.Abs(naive.MaxOverhead-wantPeak) > 1e-12 {
+		t.Errorf("naive peak %v, want %v", naive.MaxOverhead, wantPeak)
+	}
+	// COU's overhead decays within a checkpoint period: the tick right
+	// after a begin must carry more overhead than the one four ticks later.
+	var beginTick = -1
+	for i, o := range couRes.TickOverheads {
+		if o > 0 && i > 10 {
+			beginTick = i
+			break
+		}
+	}
+	if beginTick >= 0 && beginTick+4 < len(couRes.TickOverheads) {
+		if couRes.TickOverheads[beginTick] <= couRes.TickOverheads[beginTick+4] {
+			t.Logf("note: overhead did not decay at tick %d (can happen right after begin)", beginTick)
+		}
+	}
+}
+
+// TestCOUBeatsEagerAtLowRates reproduces recommendation 1: at low update
+// rates, copy-on-update methods introduce several times less overhead than
+// eager-copy methods.
+func TestCOUBeatsEagerAtLowRates(t *testing.T) {
+	cfg := testConfig()
+	ticks := 120
+	updates := 100 // scaled analogue of 1000 updates/tick
+	results, err := RunAll(Methods(), cfg, zipfSource(t, cfg, updates, ticks, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byM := map[Method]*Result{}
+	for _, r := range results {
+		byM[r.Method] = r
+	}
+	naive := byM[NaiveSnapshot].AvgOverhead
+	for _, m := range []Method{CopyOnUpdate, CopyOnUpdatePartialRedo, DribbleCopyOnUpdate} {
+		if got := byM[m].AvgOverhead; got >= naive/2 {
+			t.Errorf("%v avg overhead %v not well below naive %v at low rate",
+				m, got, naive)
+		}
+	}
+}
+
+// TestPartialRedoRecoveryWorst reproduces recommendation 3: log-based
+// partial-redo methods have the worst recovery times at high update rates.
+func TestPartialRedoRecoveryWorst(t *testing.T) {
+	cfg := testConfig()
+	ticks := 250
+	updates := 25600 // scaled analogue of 256k updates/tick: nearly all dirty
+	results, err := RunAll(Methods(), cfg, zipfSource(t, cfg, updates, ticks, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byM := map[Method]*Result{}
+	for _, r := range results {
+		byM[r.Method] = r
+	}
+	for _, m := range []Method{PartialRedo, CopyOnUpdatePartialRedo} {
+		if byM[m].RecoveryTime <= 2*byM[NaiveSnapshot].RecoveryTime {
+			t.Errorf("%v recovery %v should far exceed naive %v at high rates",
+				m, byM[m].RecoveryTime, byM[NaiveSnapshot].RecoveryTime)
+		}
+	}
+	// Non-partial-redo methods recover in ≈ 2× checkpoint time of ≈0.7s
+	// (scaled): all within a factor 1.3 of each other.
+	base := byM[NaiveSnapshot].RecoveryTime
+	for _, m := range []Method{DribbleCopyOnUpdate, AtomicCopyDirtyObjects, CopyOnUpdate} {
+		r := byM[m].RecoveryTime
+		if r < base/1.3 || r > base*1.3 {
+			t.Errorf("%v recovery %v not comparable to naive %v", m, r, base)
+		}
+	}
+}
+
+// TestFullStateMethodsConstantCheckpointTime reproduces the Figure 2(b)
+// plateau: methods that write the whole state have a checkpoint time
+// independent of the update rate.
+func TestFullStateMethodsConstantCheckpointTime(t *testing.T) {
+	cfg := testConfig()
+	ticks := 120
+	var prev map[Method]float64
+	for _, updates := range []int{100, 1600, 12800} {
+		results, err := RunAll(
+			[]Method{NaiveSnapshot, DribbleCopyOnUpdate, CopyOnUpdate},
+			cfg, zipfSource(t, cfg, updates, ticks, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := map[Method]float64{}
+		for _, r := range results {
+			cur[r.Method] = r.AvgCheckpointTime
+		}
+		if prev != nil {
+			for m, v := range cur {
+				if rel := math.Abs(v-prev[m]) / prev[m]; rel > 0.05 {
+					t.Errorf("%v checkpoint time moved %.1f%% between update rates",
+						m, 100*rel)
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestPartialRedoCheckpointTimeGrowsWithRate reproduces the other half of
+// Figure 2(b): log-based dirty-object methods checkpoint much faster at low
+// update rates.
+func TestPartialRedoCheckpointTimeGrowsWithRate(t *testing.T) {
+	cfg := testConfig()
+	ticks := 200
+	at := func(updates int) float64 {
+		res, err := Run(PartialRedo, cfg, zipfSource(t, cfg, updates, ticks, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgCheckpointTime
+	}
+	low, high := at(100), at(25600)
+	if low >= high {
+		t.Errorf("partial-redo checkpoint time should grow with rate: %v vs %v", low, high)
+	}
+	naiveRes, err := Run(NaiveSnapshot, cfg, zipfSource(t, cfg, 100, ticks, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low >= naiveRes.AvgCheckpointTime/2 {
+		t.Errorf("at low rates partial redo (%v) should checkpoint much faster than naive (%v)",
+			low, naiveRes.AvgCheckpointTime)
+	}
+}
+
+// TestPartialRedoFullCadence verifies a full checkpoint every C checkpoints.
+func TestPartialRedoFullCadence(t *testing.T) {
+	cfg := testConfig()
+	cfg.FullEvery = 4
+	ticks := 200
+	for _, m := range []Method{PartialRedo, CopyOnUpdatePartialRedo} {
+		res, err := Run(m, cfg, zipfSource(t, cfg, 500, ticks, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Checkpoints) < 8 {
+			t.Fatalf("%v: only %d checkpoints", m, len(res.Checkpoints))
+		}
+		for i, ck := range res.Checkpoints {
+			wantFull := i%4 == 0
+			if ck.Full != wantFull {
+				t.Errorf("%v ckpt %d: full=%v, want %v", m, i, ck.Full, wantFull)
+			}
+			if wantFull && ck.Objects != cfg.Table.NumObjects() {
+				t.Errorf("%v full ckpt %d wrote %d objects", m, i, ck.Objects)
+			}
+		}
+	}
+}
+
+// TestSkewReducesDirtySet reproduces the Figure 4 mechanism: higher skew
+// means fewer distinct dirty objects per checkpoint for dirty-object methods.
+func TestSkewReducesDirtySet(t *testing.T) {
+	cfg := testConfig()
+	ticks := 120
+	at := func(skew float64) float64 {
+		res, err := Run(CopyOnUpdate, cfg, zipfSource(t, cfg, 6400, ticks, skew))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AvgObjects
+	}
+	uniform, skewed := at(0), at(0.99)
+	if skewed >= uniform {
+		t.Errorf("skew 0.99 dirty set (%v) should shrink vs uniform (%v)", skewed, uniform)
+	}
+}
+
+// TestBytesWrittenConsistency checks ObjectsWritten·Sobj == BytesWritten and
+// that checkpoint stats agree with counters.
+func TestBytesWrittenConsistency(t *testing.T) {
+	cfg := testConfig()
+	for _, m := range Methods() {
+		res, err := Run(m, cfg, zipfSource(t, cfg, 1000, 100, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.BytesWritten != res.Counters.ObjectsWritten*int64(cfg.Params.ObjSize) {
+			t.Errorf("%v: bytes %d != objects %d * %d", m,
+				res.Counters.BytesWritten, res.Counters.ObjectsWritten, cfg.Params.ObjSize)
+		}
+		var sum int64
+		for _, ck := range res.Checkpoints {
+			sum += int64(ck.Objects)
+		}
+		if sum != res.Counters.ObjectsWritten {
+			t.Errorf("%v: checkpoint objects %d != counter %d", m, sum, res.Counters.ObjectsWritten)
+		}
+	}
+}
+
+// TestDeterminism: same trace, same config → identical results.
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	run := func() *Result {
+		res, err := Run(CopyOnUpdate, cfg, zipfSource(t, cfg, 2000, 60, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TotalOverhead != b.TotalOverhead ||
+		a.AvgCheckpointTime != b.AvgCheckpointTime ||
+		a.RecoveryTime != b.RecoveryTime ||
+		a.Counters != b.Counters {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+// TestRunAllMatchesIndividualRuns confirms the shared-pass optimization does
+// not change results.
+func TestRunAllMatchesIndividualRuns(t *testing.T) {
+	cfg := testConfig()
+	all, err := RunAll(Methods(), cfg, zipfSource(t, cfg, 1500, 70, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range all {
+		solo, err := Run(r.Method, cfg, zipfSource(t, cfg, 1500, 70, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalOverhead != solo.TotalOverhead || r.RecoveryTime != solo.RecoveryTime {
+			t.Errorf("%v: RunAll and Run disagree", r.Method)
+		}
+	}
+}
+
+func TestTickLengthSeries(t *testing.T) {
+	cfg := testConfig()
+	res, err := Run(NaiveSnapshot, cfg, zipfSource(t, cfg, 100, 50, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TickOverheads) != 50 {
+		t.Fatalf("series length %d, want 50", len(res.TickOverheads))
+	}
+	for i := range res.TickOverheads {
+		if got := res.TickLength(i); got < res.TickLen {
+			t.Errorf("tick %d length %v below nominal %v", i, got, res.TickLen)
+		}
+	}
+	// Without KeepSeries the slice stays empty but aggregates are intact.
+	cfg.KeepSeries = false
+	res2, err := Run(NaiveSnapshot, cfg, zipfSource(t, cfg, 100, 50, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.TickOverheads) != 0 {
+		t.Error("KeepSeries=false still recorded series")
+	}
+	if res2.TotalOverhead != res.TotalOverhead {
+		t.Error("aggregates differ with KeepSeries off")
+	}
+}
+
+// TestFirstCheckpointColdStart: double-backup dirty methods must write the
+// whole state on their first checkpoint (no backup exists yet).
+func TestFirstCheckpointColdStart(t *testing.T) {
+	cfg := testConfig()
+	for _, m := range []Method{AtomicCopyDirtyObjects, CopyOnUpdate} {
+		res, err := Run(m, cfg, zipfSource(t, cfg, 10, 60, 0.8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Checkpoints) < 2 {
+			t.Fatalf("%v: need 2 checkpoints, got %d", m, len(res.Checkpoints))
+		}
+		if got := res.Checkpoints[0].Objects; got != cfg.Table.NumObjects() {
+			t.Errorf("%v first checkpoint wrote %d objects, want full state", m, got)
+		}
+		// With only 10 updates/tick the third checkpoint must be far smaller.
+		if len(res.Checkpoints) > 2 {
+			if got := res.Checkpoints[2].Objects; got >= cfg.Table.NumObjects()/2 {
+				t.Errorf("%v steady-state checkpoint wrote %d objects", m, got)
+			}
+		}
+	}
+}
+
+func TestZeroUpdateTrace(t *testing.T) {
+	cfg := testConfig()
+	m := trace.NewMemory(cfg.Table.NumCells())
+	for i := 0; i < 60; i++ {
+		m.Append(nil)
+	}
+	for _, method := range Methods() {
+		res, err := Run(method, cfg, m)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if res.Ticks != 60 {
+			t.Errorf("%v: ticks = %d", method, res.Ticks)
+		}
+		// Lazy methods should add zero overhead without updates.
+		if method == CopyOnUpdate || method == DribbleCopyOnUpdate {
+			if res.TotalOverhead != 0 {
+				t.Errorf("%v: overhead %v on empty trace", method, res.TotalOverhead)
+			}
+		}
+	}
+}
+
+func TestResultStringers(t *testing.T) {
+	// Smoke: Config validation error formats mention both sizes.
+	cfg := testConfig()
+	cfg.Params.ObjSize = 256
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func BenchmarkSimulatorTick64kUpdates(b *testing.B) {
+	cfg := DefaultConfig()
+	sim, err := New(CopyOnUpdate, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := trace.NewZipfian(trace.DefaultZipfianConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	updates := src.AppendTick(0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.TickCells(updates)
+	}
+}
+
+func BenchmarkHandleUpdateAllMethods(b *testing.B) {
+	for _, m := range Methods() {
+		b.Run(m.ShortName(), func(b *testing.B) {
+			cfg := DefaultConfig()
+			alg := newAlgorithm(m, cfg.Params, cfg.Table.NumObjects(), 10)
+			alg.begin(0)
+			n := int32(cfg.Table.NumObjects())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alg.update(int32(i)%n, 0.001)
+			}
+		})
+	}
+}

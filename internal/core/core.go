@@ -1,0 +1,52 @@
+// Package core is the canonical home of the paper's primary contribution
+// required by the workspace layout. The checkpointing algorithmic framework,
+// the six algorithms of Table 1 and the tick-driven simulator live in
+// internal/checkpoint; this package re-exports them under the conventional
+// name so that internal/core is the entry point to the core library.
+package core
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/trace"
+)
+
+// Method identifies one of the six checkpoint recovery algorithms.
+type Method = checkpoint.Method
+
+// Config configures a simulation run.
+type Config = checkpoint.Config
+
+// Result aggregates a simulation run.
+type Result = checkpoint.Result
+
+// Simulator drives one method through a trace tick by tick.
+type Simulator = checkpoint.Simulator
+
+// The six algorithms of Table 1.
+const (
+	NaiveSnapshot           = checkpoint.NaiveSnapshot
+	DribbleCopyOnUpdate     = checkpoint.DribbleCopyOnUpdate
+	AtomicCopyDirtyObjects  = checkpoint.AtomicCopyDirtyObjects
+	PartialRedo             = checkpoint.PartialRedo
+	CopyOnUpdate            = checkpoint.CopyOnUpdate
+	CopyOnUpdatePartialRedo = checkpoint.CopyOnUpdatePartialRedo
+)
+
+// Methods returns all six algorithms in the paper's order.
+func Methods() []Method { return checkpoint.Methods() }
+
+// DefaultConfig returns the paper's default setting.
+func DefaultConfig() Config { return checkpoint.DefaultConfig() }
+
+// New returns a Simulator for method m.
+func New(m Method, cfg Config) (*Simulator, error) { return checkpoint.New(m, cfg) }
+
+// Run drives method m over an entire trace.
+func Run(m Method, cfg Config, src trace.Source) (*Result, error) {
+	return checkpoint.Run(m, cfg, src)
+}
+
+// RunAll drives several methods over the same trace in one pass.
+func RunAll(methods []Method, cfg Config, src trace.Source) ([]*Result, error) {
+	return checkpoint.RunAll(methods, cfg, src)
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gamestate"
+	"repro/internal/trace"
+)
+
+func TestCoreReexportsWork(t *testing.T) {
+	if len(Methods()) != 6 {
+		t.Fatalf("Methods() = %d, want 6", len(Methods()))
+	}
+	cfg := DefaultConfig()
+	cfg.Table = gamestate.Table{Rows: 10_000, Cols: 10, CellSize: 4, ObjSize: 512}
+	cfg.Params.DiskBandwidth /= 100
+	cfg.Params.MemBandwidth /= 100
+
+	src, err := trace.NewZipfian(trace.ZipfianConfig{
+		Table: cfg.Table, UpdatesPerTick: 100, Ticks: 50, Skew: 0.8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(CopyOnUpdate, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != CopyOnUpdate || res.Ticks != 50 {
+		t.Errorf("unexpected result: method %v, ticks %d", res.Method, res.Ticks)
+	}
+	all, err := RunAll(Methods(), cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Errorf("RunAll returned %d results", len(all))
+	}
+	sim, err := New(NaiveSnapshot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Method() != NaiveSnapshot {
+		t.Error("Simulator method mismatch")
+	}
+}

@@ -1,0 +1,331 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-12*scale || diff < 1e-18
+}
+
+func TestDefaultMatchesTable3(t *testing.T) {
+	p := Default()
+	if p.TickFreq != 30 {
+		t.Errorf("TickFreq = %v, want 30", p.TickFreq)
+	}
+	if p.ObjSize != 512 {
+		t.Errorf("ObjSize = %v, want 512", p.ObjSize)
+	}
+	if p.MemBandwidth != 2.2e9 {
+		t.Errorf("MemBandwidth = %v, want 2.2e9", p.MemBandwidth)
+	}
+	if p.MemLatency != 100e-9 {
+		t.Errorf("MemLatency = %v, want 100ns", p.MemLatency)
+	}
+	if p.LockOverhead != 145e-9 {
+		t.Errorf("LockOverhead = %v, want 145ns", p.LockOverhead)
+	}
+	if p.BitTest != 2e-9 {
+		t.Errorf("BitTest = %v, want 2ns", p.BitTest)
+	}
+	if p.DiskBandwidth != 60e6 {
+		t.Errorf("DiskBandwidth = %v, want 60MB/s", p.DiskBandwidth)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Default().Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero tick", func(p *Params) { p.TickFreq = 0 }},
+		{"negative tick", func(p *Params) { p.TickFreq = -1 }},
+		{"zero obj", func(p *Params) { p.ObjSize = 0 }},
+		{"zero membw", func(p *Params) { p.MemBandwidth = 0 }},
+		{"negative memlat", func(p *Params) { p.MemLatency = -1e-9 }},
+		{"negative lock", func(p *Params) { p.LockOverhead = -1e-9 }},
+		{"negative bit", func(p *Params) { p.BitTest = -1e-9 }},
+		{"zero diskbw", func(p *Params) { p.DiskBandwidth = 0 }},
+	}
+	for _, tc := range cases {
+		p := Default()
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+}
+
+func TestTickLen(t *testing.T) {
+	p := Default()
+	if got := p.TickLen(); !almostEqual(got, 1.0/30.0) {
+		t.Errorf("TickLen() = %v, want %v", got, 1.0/30.0)
+	}
+}
+
+// TestFullStateCopyMatchesPaper checks the headline number of Section 5.2:
+// eagerly copying the whole default state (78,125 objects of 512 bytes at
+// 2.2 GB/s) pauses the game for about 17 ms — "a value in excess of half the
+// length of a tick".
+func TestFullStateCopyMatchesPaper(t *testing.T) {
+	p := Default()
+	const n = 78125 // 10M 4-byte cells / 128 cells per 512-byte object
+	pause := p.SyncCopy(1, n)
+	if pause < 0.015 || pause > 0.020 {
+		t.Errorf("full-state sync copy = %v s, want ≈0.017 s", pause)
+	}
+	if pause <= p.TickLen()/2 {
+		t.Errorf("full-state copy %v should exceed half a tick (%v)",
+			pause, p.TickLen()/2)
+	}
+}
+
+// TestFullStateFlushMatchesPaper checks Section 5.1: methods that write the
+// entire game state to disk take about 0.68 s per checkpoint.
+func TestFullStateFlushMatchesPaper(t *testing.T) {
+	p := Default()
+	const n = 78125
+	flush := p.AsyncLog(n)
+	if flush < 0.6 || flush > 0.75 {
+		t.Errorf("full-state flush = %v s, want ≈0.67 s", flush)
+	}
+	if db := p.AsyncDoubleBackup(n, n); !almostEqual(db, flush) {
+		t.Errorf("double-backup full write = %v, want %v", db, flush)
+	}
+}
+
+func TestSyncCopyEdgeCases(t *testing.T) {
+	p := Default()
+	if got := p.SyncCopy(0, 0); got != 0 {
+		t.Errorf("SyncCopy(0,0) = %v, want 0", got)
+	}
+	if got := p.SyncCopy(5, 0); got != 0 {
+		t.Errorf("SyncCopy(5,0) = %v, want 0", got)
+	}
+	// Zero groups with positive objects is clamped to one group.
+	if got, want := p.SyncCopy(0, 10), p.SyncCopy(1, 10); !almostEqual(got, want) {
+		t.Errorf("SyncCopy(0,10) = %v, want %v", got, want)
+	}
+	one := p.SyncCopy(1, 1)
+	want := p.MemLatency + float64(p.ObjSize)/p.MemBandwidth
+	if !almostEqual(one, want) {
+		t.Errorf("SyncCopy(1,1) = %v, want %v", one, want)
+	}
+}
+
+func TestAsyncLogLinear(t *testing.T) {
+	p := Default()
+	if got := p.AsyncLog(0); got != 0 {
+		t.Errorf("AsyncLog(0) = %v, want 0", got)
+	}
+	if got := p.AsyncLog(-3); got != 0 {
+		t.Errorf("AsyncLog(-3) = %v, want 0", got)
+	}
+	a, b := p.AsyncLog(1000), p.AsyncLog(2000)
+	if !almostEqual(2*a, b) {
+		t.Errorf("AsyncLog not linear: f(1000)=%v f(2000)=%v", a, b)
+	}
+}
+
+// TestDoubleBackupIndependentOfK captures the "slightly counter-intuitive
+// (but correct) property" of Section 4.2: elapsed time of a sorted
+// double-backup write is independent of how many sectors are dirty.
+func TestDoubleBackupIndependentOfK(t *testing.T) {
+	p := Default()
+	const n = 78125
+	full := p.AsyncDoubleBackup(n, n)
+	for _, k := range []int{1, 100, 5000, n / 2, n} {
+		if got := p.AsyncDoubleBackup(k, n); !almostEqual(got, full) {
+			t.Errorf("AsyncDoubleBackup(%d, n) = %v, want %v", k, got, full)
+		}
+	}
+	if got := p.AsyncDoubleBackup(0, n); got != 0 {
+		t.Errorf("AsyncDoubleBackup(0, n) = %v, want 0", got)
+	}
+}
+
+func TestUpdateOverheadComposition(t *testing.T) {
+	p := Default()
+	bitOnly := p.UpdateOverhead(false, false)
+	if !almostEqual(bitOnly, p.BitTest) {
+		t.Errorf("bit-only overhead = %v, want Obit=%v", bitOnly, p.BitTest)
+	}
+	locked := p.UpdateOverhead(true, false)
+	if !almostEqual(locked, p.BitTest+p.LockOverhead) {
+		t.Errorf("lock overhead = %v, want %v", locked, p.BitTest+p.LockOverhead)
+	}
+	full := p.UpdateOverhead(true, true)
+	want := p.BitTest + p.LockOverhead + p.SyncCopy(1, 1)
+	if !almostEqual(full, want) {
+		t.Errorf("full overhead = %v, want %v", full, want)
+	}
+	// The paper notes the first-touch path is dominated by the object copy.
+	if full < 2*locked {
+		t.Errorf("copy path (%v) should dominate lock path (%v)", full, locked)
+	}
+}
+
+func TestRestoreFormulas(t *testing.T) {
+	p := Default()
+	const n = 78125
+	if got, want := p.RestoreFull(n), p.AsyncLog(n); !almostEqual(got, want) {
+		t.Errorf("RestoreFull = %v, want %v", got, want)
+	}
+	// With k=n and C=10, restoring a partial-redo log costs 11 full reads —
+	// this is why the paper finds partial-redo recovery uncompetitive.
+	got := p.RestoreLog(n, 10, n)
+	if want := 11 * p.RestoreFull(n); !almostEqual(got, want) {
+		t.Errorf("RestoreLog(n,10,n) = %v, want %v", got, want)
+	}
+	if got := p.RestoreLog(-5, 10, n); !almostEqual(got, p.RestoreFull(n)) {
+		t.Errorf("RestoreLog clamps negative k: got %v", got)
+	}
+}
+
+func TestRecoveryIsSum(t *testing.T) {
+	p := Default()
+	if got := p.Recovery(1.5, 0.7); !almostEqual(got, 2.2) {
+		t.Errorf("Recovery(1.5,0.7) = %v, want 2.2", got)
+	}
+}
+
+func TestStateBytes(t *testing.T) {
+	p := Default()
+	if got := p.StateBytes(78125); got != 40000000 {
+		t.Errorf("StateBytes(78125) = %d, want 40000000", got)
+	}
+}
+
+func TestStringMentionsEveryParam(t *testing.T) {
+	s := Default().String()
+	if s == "" {
+		t.Fatal("String() is empty")
+	}
+	for _, sub := range []string{"Ftick", "Sobj", "Bmem", "Omem", "Olock", "Obit", "Bdisk"} {
+		if !contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: SyncCopy is monotone in both arguments and additive in objects
+// for a fixed single group.
+func TestSyncCopyProperties(t *testing.T) {
+	p := Default()
+	f := func(g, o uint16) bool {
+		groups, objects := int(g%1000)+1, int(o)
+		base := p.SyncCopy(groups, objects)
+		if objects > 0 && p.SyncCopy(groups+1, objects) < base {
+			return false
+		}
+		if p.SyncCopy(groups, objects+1) < base {
+			return false
+		}
+		return base >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UpdateOverhead is minimal for the bit-test-only path and maximal
+// for the copy path, for any valid parameter set.
+func TestUpdateOverheadOrderingProperty(t *testing.T) {
+	f := func(memBW, lock, bit uint32) bool {
+		p := Default()
+		p.MemBandwidth = float64(memBW%1000+1) * 1e7
+		p.LockOverhead = float64(lock%1000) * 1e-9
+		p.BitTest = float64(bit%100) * 1e-9
+		a := p.UpdateOverhead(false, false)
+		b := p.UpdateOverhead(true, false)
+		c := p.UpdateOverhead(true, true)
+		return a <= b && b <= c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: recovery time is monotone in both components.
+func TestRecoveryMonotoneProperty(t *testing.T) {
+	p := Default()
+	f := func(r1, r2, c uint32) bool {
+		lo, hi := float64(r1%10000), float64(r1%10000+r2%10000)
+		ck := float64(c % 10000)
+		return p.Recovery(lo, ck) <= p.Recovery(hi, ck)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeekTimeValidation(t *testing.T) {
+	p := Default()
+	if p.SeekTime <= 0 {
+		t.Error("default seek time should be positive")
+	}
+	p.SeekTime = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative seek time accepted")
+	}
+}
+
+// TestSortedWritesCrucial quantifies Section 3.2's claim that the sorted I/O
+// optimization is crucial for double-backup schemes: for a realistically
+// dirty state, random in-place writes are orders of magnitude slower than
+// the full-rotation sweep.
+func TestSortedWritesCrucial(t *testing.T) {
+	p := Default()
+	const n = 78125
+	k := n / 2
+	sorted := p.AsyncDoubleBackup(k, n)
+	random := p.AsyncRandom(k)
+	if random < 100*sorted {
+		t.Errorf("random writes (%v) should dwarf sorted sweep (%v)", random, sorted)
+	}
+	if got := p.AsyncRandom(0); got != 0 {
+		t.Errorf("AsyncRandom(0) = %v", got)
+	}
+}
+
+// TestPhysicalLoggingInfeasible pins the paper's motivating arithmetic: at
+// the update rates MMO battles reach, ARIES-style physical logging needs
+// several times the recovery disk's bandwidth, while logical logging of user
+// actions does not.
+func TestPhysicalLoggingInfeasible(t *testing.T) {
+	p := Default()
+	demand := p.PhysicalLogDemand(256_000)
+	if demand <= 2*p.DiskBandwidth {
+		t.Errorf("physical log demand %v B/s should far exceed disk %v B/s", demand, p.DiskBandwidth)
+	}
+	logical := p.LogicalLogDemand(256_000, 20)
+	if logical >= p.DiskBandwidth {
+		t.Errorf("logical log demand %v B/s should fit under disk %v B/s", logical, p.DiskBandwidth)
+	}
+	if p.LogicalLogDemand(100, 0) != p.LogicalLogDemand(100, 1) {
+		t.Error("updatesPerAction below 1 should clamp to 1")
+	}
+	sat := p.MaxLoggableUpdateRate()
+	if sat < 10_000 || sat > 100_000 {
+		t.Errorf("saturation rate %v updates/tick implausible for Table 3 hardware", sat)
+	}
+}

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// dirSize sums the file sizes under dir.
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// counterReplay is a deterministic "simulation": each action payload holds a
+// seed; the action writes f(seed, i) into cells seed+i.
+func counterApply(w *TickWriter, payload []byte) {
+	seed := binary.LittleEndian.Uint32(payload)
+	for i := uint32(0); i < 8; i++ {
+		cell := (seed + i) % 2048
+		w.Set(cell, w.Cell(cell)+seed+i)
+	}
+}
+
+func actionOpts(dir string, mode Mode) Options {
+	return Options{
+		Table: testTable(), Dir: dir, Mode: mode, SyncEveryTick: true,
+		ReplayAction: func(_ uint64, payload []byte, w *TickWriter) error {
+			counterApply(w, payload)
+			return nil
+		},
+	}
+}
+
+func TestActionTickRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeNaiveSnapshot, ModeCopyOnUpdate, ModeAtomicCopy} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			e, err := Open(actionOpts(dir, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const ticks = 80
+			for i := 0; i < ticks; i++ {
+				payload := binary.LittleEndian.AppendUint32(nil, uint32(i*37))
+				err := e.ApplyActionTick(payload, func(w *TickWriter) error {
+					counterApply(w, payload)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			// Reference state from an independent replay.
+			ref := make([]uint32, 2048)
+			for i := 0; i < ticks; i++ {
+				seed := uint32(i * 37)
+				for j := uint32(0); j < 8; j++ {
+					cell := (seed + j) % 2048
+					ref[cell] += seed + j
+				}
+			}
+			for c, v := range ref {
+				if got := e.Store().Cell(uint32(c)); got != v {
+					t.Fatalf("live cell %d = %d, want %d", c, got, v)
+				}
+			}
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Crash-recover: action records replay through ReplayAction.
+			e2, err := Open(actionOpts(dir, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e2.Close()
+			if e2.NextTick() != ticks {
+				t.Errorf("NextTick = %d, want %d", e2.NextTick(), ticks)
+			}
+			for c, v := range ref {
+				if got := e2.Store().Cell(uint32(c)); got != v {
+					t.Fatalf("recovered cell %d = %d, want %d", c, got, v)
+				}
+			}
+		})
+	}
+}
+
+func TestMixedActionAndUpdateTicks(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(actionOpts(dir, ModeCopyOnUpdate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]uint32, 2048)
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			payload := binary.LittleEndian.AppendUint32(nil, uint32(i))
+			if err := e.ApplyActionTick(payload, func(w *TickWriter) error {
+				counterApply(w, payload)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			seed := uint32(i)
+			for j := uint32(0); j < 8; j++ {
+				ref[(seed+j)%2048] += seed + j
+			}
+		} else {
+			cell := uint32(i * 13 % 2048)
+			if err := e.ApplyTick([]wal.Update{{Cell: cell, Value: uint32(i)}}); err != nil {
+				t.Fatal(err)
+			}
+			ref[cell] = uint32(i)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(actionOpts(dir, ModeCopyOnUpdate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for c, v := range ref {
+		if got := e2.Store().Cell(uint32(c)); got != v {
+			t.Fatalf("cell %d = %d, want %d", c, got, v)
+		}
+	}
+}
+
+func TestActionTickRequiresReplayFunc(t *testing.T) {
+	e, err := Open(Options{Table: testTable(), Dir: t.TempDir(), Mode: ModeCopyOnUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	err = e.ApplyActionTick([]byte{1}, func(*TickWriter) error { return nil })
+	if err == nil {
+		t.Error("action tick without ReplayAction accepted")
+	}
+}
+
+func TestRecoveryOfActionLogWithoutReplayFuncFails(t *testing.T) {
+	dir := t.TempDir()
+	// ModeNone never checkpoints, so recovery must replay the action record
+	// and fail without a ReplayAction to interpret it.
+	e, err := Open(actionOpts(dir, ModeNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := binary.LittleEndian.AppendUint32(nil, 5)
+	if err := e.ApplyActionTick(payload, func(w *TickWriter) error {
+		counterApply(w, payload)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	opts := actionOpts(dir, ModeNone)
+	opts.ReplayAction = nil
+	if _, err := Open(opts); err == nil {
+		t.Error("recovery of action log without ReplayAction succeeded")
+	}
+}
+
+// TestActionLogIsCompact verifies the point of logical action logging: the
+// log bytes per tick are far below update-batch logging for the same
+// effects.
+func TestActionLogIsCompact(t *testing.T) {
+	size := func(action bool) int64 {
+		dir := t.TempDir()
+		e, err := Open(actionOpts(dir, ModeNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			payload := binary.LittleEndian.AppendUint32(nil, uint32(i))
+			if action {
+				if err := e.ApplyActionTick(payload, func(w *TickWriter) error {
+					counterApply(w, payload)
+					// Amplify: one action = many physical writes.
+					for j := uint32(0); j < 200; j++ {
+						w.Set(j, j)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				batch := make([]wal.Update, 0, 208)
+				for j := uint32(0); j < 208; j++ {
+					batch = append(batch, wal.Update{Cell: j, Value: j})
+				}
+				if err := e.ApplyTick(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dirSize(t, dir+"/wal")
+	}
+	actionBytes := size(true)
+	updateBytes := size(false)
+	if actionBytes*10 > updateBytes {
+		t.Errorf("action log (%d B) should be ≪ update log (%d B)", actionBytes, updateBytes)
+	}
+}

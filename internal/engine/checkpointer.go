@@ -1,0 +1,530 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/disk"
+)
+
+// Mode selects the recovery method the engine runs.
+type Mode int
+
+const (
+	// ModeNone disables checkpointing (baseline for overhead measurement).
+	ModeNone Mode = iota
+	// ModeNaiveSnapshot quiesces at a tick end, copies the whole slab to a
+	// shadow buffer (the pause) and flushes it asynchronously.
+	ModeNaiveSnapshot
+	// ModeCopyOnUpdate keeps per-object dirty bits, copies pre-images on
+	// first update while a flush is in flight, and writes only dirty
+	// objects — the paper's recommended method.
+	ModeCopyOnUpdate
+	// ModeAtomicCopy eagerly copies only the dirty objects at the tick
+	// boundary (Atomic-Copy-Dirty-Objects): a middle ground whose pause
+	// scales with the dirty set instead of the whole state.
+	ModeAtomicCopy
+	// ModeDribble implements Dribble-and-Copy-on-Update: every checkpoint
+	// writes the whole state, flushed by a dribbling writer, with pre-image
+	// copies on first update — no eager pause, full images every time.
+	ModeDribble
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeNaiveSnapshot:
+		return "naive-snapshot"
+	case ModeCopyOnUpdate:
+		return "copy-on-update"
+	case ModeAtomicCopy:
+		return "atomic-copy-dirty-objects"
+	case ModeDribble:
+		return "dribble-and-copy-on-update"
+	default:
+		return "unknown"
+	}
+}
+
+// CheckpointInfo describes one completed checkpoint.
+type CheckpointInfo struct {
+	Epoch    uint64
+	AsOfTick uint64
+	// Duration spans begin (pause start) to the completion header sync.
+	Duration time.Duration
+	// Pause is the synchronous portion charged to the game tick.
+	Pause time.Duration
+	// Objects and Bytes flushed.
+	Objects int
+	Bytes   int64
+}
+
+// CPStats aggregates checkpointer activity. Fields written by the writer
+// goroutine use atomics.
+type CPStats struct {
+	Checkpoints  atomic.Int64
+	BytesWritten atomic.Int64
+	Copies       atomic.Int64 // copy-on-update pre-image copies
+	PauseTotal   atomic.Int64 // nanoseconds
+	PauseMax     atomic.Int64 // nanoseconds
+}
+
+func (s *CPStats) recordPause(d time.Duration) {
+	s.PauseTotal.Add(int64(d))
+	for {
+		cur := s.PauseMax.Load()
+		if int64(d) <= cur || s.PauseMax.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// checkpointer is the engine-side counterpart of the simulator's algorithm
+// interface. onUpdate runs on the mutator goroutine before each object
+// write; endTick runs on the mutator goroutine at tick boundaries.
+type checkpointer interface {
+	onUpdate(obj int32)
+	// endTick may begin a checkpoint; it returns the synchronous pause.
+	endTick(tick uint64) time.Duration
+	// completed returns the channel of finished checkpoints.
+	completed() <-chan CheckpointInfo
+	// close stops the writer after the in-flight flush completes.
+	close() error
+	stats() *CPStats
+	// err surfaces an asynchronous writer failure, if any.
+	err() error
+}
+
+// nopCheckpointer is the ModeNone baseline.
+type nopCheckpointer struct {
+	st   CPStats
+	done chan CheckpointInfo
+}
+
+func newNop() *nopCheckpointer {
+	return &nopCheckpointer{done: make(chan CheckpointInfo)}
+}
+
+func (n *nopCheckpointer) onUpdate(int32)                   {}
+func (n *nopCheckpointer) endTick(uint64) time.Duration     { return 0 }
+func (n *nopCheckpointer) completed() <-chan CheckpointInfo { return n.done }
+func (n *nopCheckpointer) close() error                     { close(n.done); return nil }
+func (n *nopCheckpointer) stats() *CPStats                  { return &n.st }
+func (n *nopCheckpointer) err() error                       { return nil }
+
+// writerErr holds the first asynchronous failure.
+type writerErr struct{ v atomic.Value }
+
+func (w *writerErr) set(err error) {
+	if err != nil {
+		w.v.CompareAndSwap(nil, err)
+	}
+}
+
+func (w *writerErr) get() error {
+	if e, ok := w.v.Load().(error); ok {
+		return e
+	}
+	return nil
+}
+
+// ioChunk is the writer's staging buffer size.
+const ioChunk = 1 << 20
+
+// naiveJob asks the writer to flush the shadow buffer.
+type naiveJob struct {
+	epoch uint64
+	tick  uint64
+	begin time.Time
+	pause time.Duration
+}
+
+// naiveCP implements ModeNaiveSnapshot.
+type naiveCP struct {
+	store    *Store
+	backups  [2]*disk.Backup
+	shadow   []byte
+	epoch    uint64
+	cur      int // backup the writer targets next (writer-owned after start)
+	inFlight atomic.Bool
+	jobs     chan naiveJob
+	done     chan CheckpointInfo
+	wg       sync.WaitGroup
+	st       CPStats
+	werr     writerErr
+}
+
+func newNaive(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int) *naiveCP {
+	c := &naiveCP{
+		store:   store,
+		backups: backups,
+		shadow:  make([]byte, len(store.Slab())),
+		epoch:   startEpoch,
+		cur:     firstBackup,
+		jobs:    make(chan naiveJob, 1),
+		done:    make(chan CheckpointInfo, 8),
+	}
+	c.wg.Add(1)
+	go c.writer()
+	return c
+}
+
+func (c *naiveCP) onUpdate(int32) {}
+
+func (c *naiveCP) endTick(tick uint64) time.Duration {
+	if c.inFlight.Load() || c.werr.get() != nil {
+		return 0
+	}
+	begin := time.Now()
+	copy(c.shadow, c.store.Slab()) // the quiescent eager copy: the pause
+	pause := time.Since(begin)
+	c.st.recordPause(pause)
+	c.epoch++
+	c.inFlight.Store(true)
+	c.jobs <- naiveJob{epoch: c.epoch, tick: tick, begin: begin, pause: pause}
+	return pause
+}
+
+func (c *naiveCP) writer() {
+	defer c.wg.Done()
+	for job := range c.jobs {
+		b := c.backups[c.cur]
+		c.cur ^= 1
+		if err := c.flush(b, job); err != nil {
+			c.werr.set(err)
+			c.inFlight.Store(false)
+			continue
+		}
+		c.st.Checkpoints.Add(1)
+		c.st.BytesWritten.Add(int64(len(c.shadow)))
+		info := CheckpointInfo{
+			Epoch:    job.epoch,
+			AsOfTick: job.tick,
+			Duration: time.Since(job.begin),
+			Pause:    job.pause,
+			Objects:  c.store.NumObjects(),
+			Bytes:    int64(len(c.shadow)),
+		}
+		c.inFlight.Store(false)
+		c.done <- info
+	}
+}
+
+func (c *naiveCP) flush(b *disk.Backup, job naiveJob) error {
+	hdr := disk.Header{Epoch: job.epoch, AsOfTick: job.tick}
+	if err := b.WriteHeader(hdr); err != nil { // invalidate image
+		return err
+	}
+	objSize := c.store.ObjSize()
+	perChunk := ioChunk / objSize
+	for start := 0; start < c.store.NumObjects(); start += perChunk {
+		end := start + perChunk
+		if end > c.store.NumObjects() {
+			end = c.store.NumObjects()
+		}
+		if err := b.WriteRun(start, c.shadow[start*objSize:end*objSize]); err != nil {
+			return err
+		}
+	}
+	if err := b.Sync(); err != nil {
+		return err
+	}
+	hdr.Complete = true
+	return b.WriteHeader(hdr) // commit point
+}
+
+func (c *naiveCP) completed() <-chan CheckpointInfo { return c.done }
+func (c *naiveCP) stats() *CPStats                  { return &c.st }
+func (c *naiveCP) err() error                       { return c.werr.get() }
+
+func (c *naiveCP) close() error {
+	close(c.jobs)
+	c.wg.Wait()
+	close(c.done)
+	return c.werr.get()
+}
+
+// couJob asks the writer to flush the current write set.
+type couJob struct {
+	epoch  uint64
+	tick   uint64
+	backup int
+	begin  time.Time
+	pause  time.Duration
+}
+
+// couCP implements ModeCopyOnUpdate.
+//
+// Concurrency protocol:
+//   - dirty bitmaps are touched only by the mutator goroutine (onUpdate sets,
+//     endTick snapshots and clears) — no synchronization needed.
+//   - writeSet is snapshotted by endTick before the job is sent (the channel
+//     send is the happens-before edge) and read-only while in flight.
+//   - handled bits are set by the mutator and read by the writer using
+//     atomic word operations, under the object's stripe lock.
+//   - cursor publishes writer progress: every write-set object with index
+//     below cursor has been staged to the I/O buffer. onUpdate skips the
+//     pre-image copy for those.
+//   - side holds pre-images; slots are written by the mutator and read by
+//     the writer under the object's stripe lock.
+type couCP struct {
+	store   *Store
+	backups [2]*disk.Backup
+	// fullSet makes every checkpoint write the whole state (Dribble mode);
+	// otherwise only the dirty set w.r.t. the target backup is written.
+	fullSet bool
+
+	dirty    [2][]uint64
+	writeSet []uint64
+	handled  []uint64
+	side     []byte
+	locks    []sync.Mutex
+
+	cursor   atomic.Int64
+	inFlight atomic.Bool
+	epoch    uint64
+	cur      int // backup to flush next (mutator-owned; passed in job)
+
+	jobs chan couJob
+	done chan CheckpointInfo
+	wg   sync.WaitGroup
+	st   CPStats
+	werr writerErr
+}
+
+const couStripes = 1024
+
+func newCOU(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int) *couCP {
+	n := store.NumObjects()
+	words := (n + 63) / 64
+	c := &couCP{
+		store:    store,
+		backups:  backups,
+		writeSet: make([]uint64, words),
+		handled:  make([]uint64, words),
+		side:     make([]byte, store.NumObjects()*store.ObjSize()),
+		locks:    make([]sync.Mutex, couStripes),
+		epoch:    startEpoch,
+		cur:      firstBackup,
+		jobs:     make(chan couJob, 1),
+		done:     make(chan CheckpointInfo, 8),
+	}
+	for i := range c.dirty {
+		c.dirty[i] = make([]uint64, words)
+		for w := range c.dirty[i] {
+			c.dirty[i][w] = ^uint64(0) // cold start: everything dirty
+		}
+		trimTail(c.dirty[i], n)
+	}
+	c.wg.Add(1)
+	go c.writer()
+	return c
+}
+
+func trimTail(words []uint64, n int) {
+	if rem := uint(n) & 63; rem != 0 && len(words) > 0 {
+		words[len(words)-1] &= 1<<rem - 1
+	}
+}
+
+func (c *couCP) stripe(obj int32) *sync.Mutex { return &c.locks[int(obj)%couStripes] }
+
+func (c *couCP) onUpdate(obj int32) {
+	w, m := obj>>6, uint64(1)<<(uint(obj)&63)
+	// Mark dirty for both backups (mutator-owned bitmaps).
+	c.dirty[0][w] |= m
+	c.dirty[1][w] |= m
+	if !c.inFlight.Load() {
+		return
+	}
+	if atomic.LoadUint64(&c.writeSet[w])&m == 0 {
+		return // not part of the in-flight image
+	}
+	if c.cursor.Load() > int64(obj) {
+		return // writer already staged this object
+	}
+	mu := c.stripe(obj)
+	mu.Lock()
+	if atomic.LoadUint64(&c.handled[w])&m == 0 && c.cursor.Load() <= int64(obj) {
+		// First update of a not-yet-flushed write-set object: save the
+		// checkpoint-consistent pre-image.
+		sz := c.store.ObjSize()
+		copy(c.side[int(obj)*sz:(int(obj)+1)*sz], c.store.ObjectBytes(int(obj)))
+		orUint64(&c.handled[w], m)
+		c.st.Copies.Add(1)
+	}
+	mu.Unlock()
+}
+
+// orUint64 atomically ORs mask into *addr.
+func orUint64(addr *uint64, mask uint64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask == mask {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return
+		}
+	}
+}
+
+func (c *couCP) endTick(tick uint64) time.Duration {
+	if c.inFlight.Load() || c.werr.get() != nil {
+		return 0
+	}
+	begin := time.Now()
+	src := c.dirty[c.cur]
+	for i, w := range src {
+		// Snapshot the write set and clear the dirty map; updates during
+		// the flush re-dirty objects for the next pass to this backup.
+		// Dribble mode writes everything regardless of dirtiness.
+		if c.fullSet {
+			w = ^uint64(0)
+		}
+		atomic.StoreUint64(&c.writeSet[i], w)
+		src[i] = 0
+		atomic.StoreUint64(&c.handled[i], 0)
+	}
+	if c.fullSet {
+		trimTail(c.writeSet, c.store.NumObjects())
+	}
+	c.cursor.Store(0)
+	pause := time.Since(begin)
+	c.st.recordPause(pause)
+	c.epoch++
+	backup := c.cur
+	c.cur ^= 1
+	c.inFlight.Store(true)
+	c.jobs <- couJob{epoch: c.epoch, tick: tick, backup: backup, begin: begin, pause: pause}
+	return pause
+}
+
+func (c *couCP) writer() {
+	defer c.wg.Done()
+	for job := range c.jobs {
+		info, err := c.flush(job)
+		if err != nil {
+			c.werr.set(err)
+			c.inFlight.Store(false)
+			continue
+		}
+		c.st.Checkpoints.Add(1)
+		c.st.BytesWritten.Add(info.Bytes)
+		c.inFlight.Store(false)
+		c.done <- info
+	}
+}
+
+// flush writes the in-flight write set to the job's backup in offset order
+// (the sorted-write optimization), staging contiguous dirty runs into an I/O
+// buffer. For each object it emits the mutator's pre-image copy if one was
+// taken, else the live slab bytes — under the object's stripe lock.
+func (c *couCP) flush(job couJob) (CheckpointInfo, error) {
+	b := c.backups[job.backup]
+	hdr := disk.Header{Epoch: job.epoch, AsOfTick: job.tick}
+	if err := b.WriteHeader(hdr); err != nil {
+		return CheckpointInfo{}, err
+	}
+	sz := c.store.ObjSize()
+	buf := make([]byte, 0, ioChunk)
+	runStart := -1
+	objects := 0
+	var bytes int64
+
+	emit := func() error {
+		if runStart < 0 || len(buf) == 0 {
+			return nil
+		}
+		if err := b.WriteRun(runStart, buf); err != nil {
+			return err
+		}
+		bytes += int64(len(buf))
+		buf = buf[:0]
+		runStart = -1
+		return nil
+	}
+
+	n := c.store.NumObjects()
+	for obj := 0; obj < n; obj++ {
+		w, m := obj>>6, uint64(1)<<(uint(obj)&63)
+		if c.writeSet[w] == 0 {
+			// Skip whole empty words quickly.
+			if err := emit(); err != nil {
+				return CheckpointInfo{}, err
+			}
+			c.cursor.Store(int64(obj|63) + 1)
+			obj |= 63
+			continue
+		}
+		if c.writeSet[w]&m == 0 {
+			if err := emit(); err != nil {
+				return CheckpointInfo{}, err
+			}
+			c.cursor.Store(int64(obj) + 1)
+			continue
+		}
+		mu := c.stripe(int32(obj))
+		mu.Lock()
+		if runStart < 0 {
+			runStart = obj
+		}
+		if atomic.LoadUint64(&c.handled[w])&m != 0 {
+			buf = append(buf, c.side[obj*sz:(obj+1)*sz]...)
+		} else {
+			buf = append(buf, c.store.ObjectBytes(obj)...)
+		}
+		c.cursor.Store(int64(obj) + 1)
+		mu.Unlock()
+		objects++
+		if len(buf) >= ioChunk {
+			if err := emit(); err != nil {
+				return CheckpointInfo{}, err
+			}
+		}
+	}
+	if err := emit(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if err := b.Sync(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	hdr.Complete = true
+	if err := b.WriteHeader(hdr); err != nil {
+		return CheckpointInfo{}, err
+	}
+	return CheckpointInfo{
+		Epoch:    job.epoch,
+		AsOfTick: job.tick,
+		Duration: time.Since(job.begin),
+		Pause:    job.pause,
+		Objects:  objects,
+		Bytes:    bytes,
+	}, nil
+}
+
+func (c *couCP) completed() <-chan CheckpointInfo { return c.done }
+func (c *couCP) stats() *CPStats                  { return &c.st }
+func (c *couCP) err() error                       { return c.werr.get() }
+
+func (c *couCP) close() error {
+	close(c.jobs)
+	c.wg.Wait()
+	close(c.done)
+	return c.werr.get()
+}
+
+// markAllDirty is used after recovery: the disk images' exact dirty sets are
+// unknown, so the next checkpoint of each backup rewrites everything.
+func (c *couCP) markAllDirty() {
+	n := c.store.NumObjects()
+	for i := range c.dirty {
+		for w := range c.dirty[i] {
+			c.dirty[i][w] = ^uint64(0)
+		}
+		trimTail(c.dirty[i], n)
+	}
+}

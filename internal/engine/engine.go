@@ -1,0 +1,303 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/gamestate"
+	"repro/internal/recovery"
+	"repro/internal/wal"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Table is the state geometry. CellSize must be 4.
+	Table gamestate.Table
+	// Dir is the storage directory (two backup images + wal/ subdirectory).
+	Dir string
+	// Mode selects the recovery method.
+	Mode Mode
+	// DiskBytesPerSec throttles backup I/O to emulate the paper's dedicated
+	// 60 MB/s recovery disk. 0 means unthrottled.
+	DiskBytesPerSec float64
+	// SyncEveryTick fsyncs the logical log at every tick, making each tick
+	// durable as soon as it is applied. When false, the OS decides; a crash
+	// may lose the most recent ticks (but never corrupt the log).
+	SyncEveryTick bool
+	// InMemory uses in-memory backup devices and disables the logical log:
+	// for benchmarks and tests that exercise only the checkpoint path.
+	InMemory bool
+	// KeepTickStats retains per-tick timing series in Stats (validation
+	// harness); aggregates are always kept.
+	KeepTickStats bool
+	// DeviceFactory overrides how backup devices are opened (fault
+	// injection in tests). Nil uses regular files.
+	DeviceFactory func(path string) (disk.Device, error)
+	// ReplayAction re-executes action records logged with ApplyActionTick.
+	// Required if the log contains (or will contain) action ticks.
+	ReplayAction ReplayActionFunc
+}
+
+// TickTiming is the per-tick instrumentation used by the Section 6
+// validation: how long applying the updates took and how long the
+// checkpointer's synchronous work stretched the tick.
+type TickTiming struct {
+	Apply time.Duration
+	Pause time.Duration
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Ticks          uint64
+	UpdatesApplied int64
+	ApplyTotal     time.Duration
+	PauseTotal     time.Duration
+	Checkpoints    []CheckpointInfo
+	TickTimings    []TickTiming // only with KeepTickStats
+}
+
+// Engine is the durable game-state store: an in-memory slab, a logical log,
+// and an asynchronous checkpointer.
+type Engine struct {
+	opts  Options
+	store *Store
+	cp    checkpointer
+	log   *wal.Log
+
+	tick      uint64
+	encBuf    []byte
+	stats     Stats
+	prevAsOf  uint64
+	havePrev  bool
+	recovered recovery.Result
+	closed    bool
+}
+
+// Open creates or reopens an engine in opts.Dir. If the directory holds a
+// previous incarnation's state, Open performs crash recovery (restore newest
+// complete image + replay the logical log) before returning; the outcome is
+// available via Recovery().
+func Open(opts Options) (*Engine, error) {
+	if err := opts.Table.Validate(); err != nil {
+		return nil, err
+	}
+	switch opts.Mode {
+	case ModeNone, ModeNaiveSnapshot, ModeCopyOnUpdate, ModeAtomicCopy, ModeDribble:
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %d", int(opts.Mode))
+	}
+	store, err := NewStore(opts.Table)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, store: store}
+
+	var devs [2]disk.Device
+	if opts.InMemory {
+		devs[0], devs[1] = disk.NewMem(), disk.NewMem()
+	} else {
+		if opts.Dir == "" {
+			return nil, errors.New("engine: Dir required unless InMemory")
+		}
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		open := opts.DeviceFactory
+		if open == nil {
+			open = func(path string) (disk.Device, error) { return disk.OpenFile(path) }
+		}
+		for i, name := range []string{"backup-a.img", "backup-b.img"} {
+			d, err := open(filepath.Join(opts.Dir, name))
+			if err != nil {
+				return nil, err
+			}
+			devs[i] = d
+		}
+	}
+	if opts.DiskBytesPerSec > 0 {
+		devs[0] = disk.NewThrottle(devs[0], opts.DiskBytesPerSec)
+		devs[1] = disk.NewThrottle(devs[1], opts.DiskBytesPerSec)
+	}
+	var backups [2]*disk.Backup
+	for i, d := range devs {
+		b, err := disk.NewBackup(d, store.NumObjects(), store.ObjSize())
+		if err != nil {
+			return nil, err
+		}
+		backups[i] = b
+	}
+
+	startEpoch := uint64(0)
+	firstBackup := 0
+	if opts.InMemory {
+		e.recovered = recovery.Result{BackupIndex: -1}
+	} else {
+		log, err := wal.Open(filepath.Join(opts.Dir, "wal"))
+		if err != nil {
+			return nil, err
+		}
+		e.log = log
+		// Record interpretation during replay needs a checkpointer in place
+		// for action ticks; bookkeeping is irrelevant here (everything is
+		// marked dirty after recovery), so a no-op stands in.
+		e.cp = newNop()
+		var updBuf []wal.Update
+		var replayed int64
+		res, err := recovery.RunRecords(backups[0], backups[1], store.Slab(), log,
+			func(tick uint64, body []byte) error {
+				n, rerr := e.replayRecord(tick, body, &updBuf)
+				replayed += n
+				return rerr
+			})
+		res.ReplayedUpdates = replayed
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		e.recovered = res
+		e.tick = res.NextTick
+		startEpoch = res.Epoch
+		if res.Restored {
+			// Write the next image over the stale backup.
+			firstBackup = 1 - res.BackupIndex
+			e.prevAsOf = res.AsOfTick
+			e.havePrev = true
+		}
+	}
+
+	switch opts.Mode {
+	case ModeNone:
+		e.cp = newNop()
+	case ModeNaiveSnapshot:
+		e.cp = newNaive(store, backups, startEpoch, firstBackup)
+	case ModeCopyOnUpdate:
+		c := newCOU(store, backups, startEpoch, firstBackup)
+		c.markAllDirty() // disk images' dirty sets are unknown after restart
+		e.cp = c
+	case ModeAtomicCopy:
+		c := newAtomicCopy(store, backups, startEpoch, firstBackup)
+		c.markAllDirty()
+		e.cp = c
+	case ModeDribble:
+		c := newCOU(store, backups, startEpoch, firstBackup)
+		c.fullSet = true
+		e.cp = c
+	}
+	return e, nil
+}
+
+// Recovery returns the outcome of the recovery performed by Open.
+func (e *Engine) Recovery() recovery.Result { return e.recovered }
+
+// Store exposes the in-memory state for reads.
+func (e *Engine) Store() *Store { return e.store }
+
+// NextTick returns the tick the next ApplyTick call will be logged as.
+func (e *Engine) NextTick() uint64 { return e.tick }
+
+// Mode returns the engine's recovery method.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// ApplyTick logs and applies one tick's update batch, then runs the
+// end-of-tick checkpoint management. It is the discrete-event simulation
+// loop's integration point: call it exactly once per game tick, from one
+// goroutine.
+func (e *Engine) ApplyTick(updates []wal.Update) error {
+	if e.closed {
+		return errors.New("engine: closed")
+	}
+	if err := e.cp.err(); err != nil {
+		return fmt.Errorf("engine: checkpoint writer failed: %w", err)
+	}
+	// Logical logging first: a tick is replayable before its effects are in
+	// volatile memory only.
+	if e.log != nil {
+		e.encBuf = append(e.encBuf[:0], recUpdates)
+		e.encBuf = wal.EncodeUpdates(e.encBuf, updates)
+		if err := e.log.Append(e.tick, e.encBuf); err != nil {
+			return err
+		}
+		if e.opts.SyncEveryTick {
+			if err := e.log.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+
+	applyStart := time.Now()
+	for _, u := range updates {
+		e.cp.onUpdate(e.store.ObjectOf(u.Cell))
+		e.store.SetCell(u.Cell, u.Value)
+	}
+	applyDur := time.Since(applyStart)
+
+	pause := e.cp.endTick(e.tick)
+	e.drainCompleted()
+
+	e.stats.Ticks++
+	e.stats.UpdatesApplied += int64(len(updates))
+	e.stats.ApplyTotal += applyDur
+	e.stats.PauseTotal += pause
+	if e.opts.KeepTickStats {
+		e.stats.TickTimings = append(e.stats.TickTimings,
+			TickTiming{Apply: applyDur, Pause: pause})
+	}
+	e.tick++
+	return nil
+}
+
+// drainCompleted consumes checkpoint completions: record them, rotate the
+// logical log, and prune segments the double backup has made obsolete.
+func (e *Engine) drainCompleted() {
+	for {
+		select {
+		case info := <-e.cp.completed():
+			e.stats.Checkpoints = append(e.stats.Checkpoints, info)
+			if e.log != nil {
+				// Records at or before info.AsOfTick are covered by the new
+				// image; keep one prior image's worth for safety.
+				if err := e.log.Rotate(e.tick + 1); err == nil {
+					if e.havePrev {
+						_ = e.log.Prune(e.prevAsOf + 1)
+					}
+				}
+				e.prevAsOf = info.AsOfTick
+				e.havePrev = true
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the engine's aggregates.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// CheckpointStats exposes the checkpointer's counters.
+func (e *Engine) CheckpointStats() *CPStats { return e.cp.stats() }
+
+// Close finishes the in-flight checkpoint, flushes the log, and releases
+// resources. The engine must not be used afterwards.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	cpErr := e.cp.close()
+	// Collect completions that landed during shutdown.
+	for info := range e.cp.completed() {
+		e.stats.Checkpoints = append(e.stats.Checkpoints, info)
+	}
+	var logErr error
+	if e.log != nil {
+		logErr = e.log.Close()
+	}
+	if cpErr != nil {
+		return cpErr
+	}
+	return logErr
+}

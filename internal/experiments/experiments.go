@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 5 and 6): the updates-per-tick sweeps of Figure 2,
+// the latency timeline of Figure 3, the skew sweeps of Figure 4, the
+// Knights-and-Archers trace experiment of Figure 5 / Table 5, the
+// simulation-versus-implementation validation of Figure 6, and the ablations
+// the paper's design discussion calls out (the partial-redo full-checkpoint
+// period C, the sorted-write optimization, and the hardware-parameter
+// sensitivity named as future work in Section 8).
+//
+// Every experiment runs at two scales. Full is the paper's exact
+// configuration (Table 4: 10M cells, 1000 ticks, up to 256,000 updates per
+// tick). Quick is a 1/10 linear scaling of state size, update rate and
+// bandwidths, which preserves every dimensionless ratio the conclusions
+// depend on (flush time ≈ 20 ticks, copy pause ≈ half a tick) while running
+// two orders of magnitude faster.
+package experiments
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/game"
+	"repro/internal/gamestate"
+	"repro/internal/trace"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// Quick is the 1/10-scale configuration used by the benchmarks.
+	Quick Scale = iota
+	// Full is the paper's exact configuration.
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Config returns the simulator configuration for a scale.
+func Config(s Scale) checkpoint.Config {
+	cfg := checkpoint.DefaultConfig()
+	if s == Quick {
+		cfg.Table.Rows = 100_000 // 1M cells → 7,813 objects → 4 MB
+		cfg.Params.MemBandwidth /= 10
+		cfg.Params.DiskBandwidth /= 10
+	}
+	return cfg
+}
+
+// Ticks returns the trace length for a scale.
+func Ticks(s Scale) int {
+	if s == Full {
+		return 1000
+	}
+	return 300
+}
+
+// UpdateSweep returns the Figure 2 x-axis: 1,000…256,000 updates per tick at
+// full scale (Table 4), scaled by 1/10 at quick scale.
+func UpdateSweep(s Scale) []int {
+	base := []int{1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000, 256000}
+	if s == Full {
+		return base
+	}
+	scaled := make([]int, len(base))
+	for i, v := range base {
+		scaled[i] = v / 10
+	}
+	return scaled
+}
+
+// DefaultUpdates returns the bold default of Table 4 (64,000 at full scale).
+func DefaultUpdates(s Scale) int {
+	if s == Full {
+		return 64_000
+	}
+	return 6_400
+}
+
+// SkewSweep returns the Figure 4 x-axis (Table 4: skew 0…0.99).
+func SkewSweep() []float64 { return []float64{0, 0.2, 0.4, 0.6, 0.8, 0.99} }
+
+// DefaultSkew is the bold default of Table 4.
+const DefaultSkew = 0.8
+
+// GameConfig returns the Knights-and-Archers battle for a scale.
+func GameConfig(s Scale) game.Config {
+	cfg := game.DefaultConfig()
+	if s == Quick {
+		cfg.Units = 40_000 // 1/10 of Table 5
+	}
+	return cfg
+}
+
+// zipfSource builds the synthetic trace for one experiment point.
+func zipfSource(cfg checkpoint.Config, updates, ticks int, skew float64, seed int64) (trace.Source, error) {
+	return trace.NewZipfian(trace.ZipfianConfig{
+		Table:          cfg.Table,
+		UpdatesPerTick: updates,
+		Ticks:          ticks,
+		Skew:           skew,
+		Seed:           seed,
+	})
+}
+
+// simParamsForTable adapts the scale's cost parameters to a different table
+// geometry (the game trace has its own unit table).
+func simParamsForTable(s Scale, table gamestate.Table) checkpoint.Config {
+	cfg := Config(s)
+	cfg.Table = table
+	cfg.Params.ObjSize = table.ObjSize
+	return cfg
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/gamestate"
+	"repro/internal/metrics"
+)
+
+// MultiServerResult reports the multi-server analysis the paper names as
+// future work in Section 8: the shard's state table is range-partitioned
+// over M game servers, each checkpointing independently to its own recovery
+// disk; ticks are synchronized across servers (clients must see one
+// consistent world), so the slowest server's overhead gates every tick, and
+// recovering the world after a failure takes as long as the slowest server's
+// recovery.
+type MultiServerResult struct {
+	Servers []int
+	// Recovery is the whole-world recovery time per cluster size (servers
+	// restore in parallel).
+	Recovery metrics.Figure
+	// TickOverhead is the synchronized per-tick overhead (max over servers,
+	// averaged over ticks).
+	TickOverhead metrics.Figure
+	// Imbalance is hottest-server overhead share: with Zipf row skew, low
+	// row ranges concentrate updates on server 0.
+	Imbalance metrics.Figure
+	// Raw[m][i] is server i's result in the m-server configuration.
+	Raw map[int][]*checkpoint.Result
+}
+
+// RunMultiServer partitions the default synthetic workload over 1, 2, 4 and
+// 8 servers by row range and runs Copy-on-Update (the recommended method)
+// independently on each partition.
+func RunMultiServer(s Scale, seed int64) (*MultiServerResult, error) {
+	base := Config(s)
+	ticks := Ticks(s)
+	updates := DefaultUpdates(s)
+	src, err := zipfSource(base, updates, ticks, DefaultSkew, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &MultiServerResult{
+		Servers: []int{1, 2, 4, 8},
+		Recovery: metrics.Figure{
+			Title:  fmt.Sprintf("Extension (%s scale): multi-server recovery", s),
+			XLabel: "game servers per shard", YLabel: "world recovery time [sec]",
+		},
+		TickOverhead: metrics.Figure{
+			Title:  fmt.Sprintf("Extension (%s scale): multi-server synchronized overhead", s),
+			XLabel: "game servers per shard", YLabel: "avg max-over-servers overhead [sec]",
+		},
+		Imbalance: metrics.Figure{
+			Title:  fmt.Sprintf("Extension (%s scale): load imbalance under Zipf skew", s),
+			XLabel: "game servers per shard", YLabel: "hottest server share of total overhead",
+		},
+		Raw: map[int][]*checkpoint.Result{},
+	}
+	recSeries := metrics.Series{Name: "Copy-on-Update, parallel restore"}
+	ovSeries := metrics.Series{Name: "Copy-on-Update, tick barrier"}
+	imSeries := metrics.Series{Name: "hottest server"}
+
+	for _, m := range res.Servers {
+		rowsPer := base.Table.Rows / m
+		cfg := base
+		cfg.Table = gamestate.Table{
+			Rows: rowsPer, Cols: base.Table.Cols,
+			CellSize: base.Table.CellSize, ObjSize: base.Table.ObjSize,
+		}
+		cfg.KeepSeries = true
+		sims := make([]*checkpoint.Simulator, m)
+		for i := range sims {
+			if sims[i], err = checkpoint.New(checkpoint.CopyOnUpdate, cfg); err != nil {
+				return nil, err
+			}
+		}
+		// Route each tick's updates to the owning server, in lockstep.
+		cols := base.Table.Cols
+		var global []uint32
+		local := make([][]uint32, m)
+		for t := 0; t < ticks; t++ {
+			global = src.AppendTick(t, global[:0])
+			for i := range local {
+				local[i] = local[i][:0]
+			}
+			for _, cell := range global {
+				row := int(cell) / cols
+				server := row / rowsPer
+				if server >= m {
+					server = m - 1 // remainder rows live on the last server
+				}
+				localCell := cell - uint32(server*rowsPer*cols)
+				local[server] = append(local[server], localCell)
+			}
+			for i, sim := range sims {
+				sim.TickCells(local[i])
+			}
+		}
+		results := make([]*checkpoint.Result, m)
+		for i, sim := range sims {
+			results[i] = sim.Finish()
+		}
+		res.Raw[m] = results
+
+		// Synchronized ticks: the barrier waits for the slowest server.
+		maxOverheadSum := 0.0
+		var totals, hottest float64
+		for i := range results {
+			sum := 0.0
+			for _, o := range results[i].TickOverheads {
+				sum += o
+			}
+			totals += sum
+			if sum > hottest {
+				hottest = sum
+			}
+		}
+		for t := 0; t < ticks; t++ {
+			worst := 0.0
+			for i := range results {
+				if o := results[i].TickOverheads[t]; o > worst {
+					worst = o
+				}
+			}
+			maxOverheadSum += worst
+		}
+		// Whole-world recovery: servers restore and replay in parallel.
+		worstRecovery := 0.0
+		for _, r := range results {
+			if r.RecoveryTime > worstRecovery {
+				worstRecovery = r.RecoveryTime
+			}
+		}
+		recSeries.Add(float64(m), worstRecovery)
+		ovSeries.Add(float64(m), maxOverheadSum/float64(ticks))
+		if totals > 0 {
+			imSeries.Add(float64(m), hottest/totals)
+		} else {
+			imSeries.Add(float64(m), 1/float64(m))
+		}
+	}
+	res.Recovery.Add(recSeries)
+	res.TickOverhead.Add(ovSeries)
+	res.Imbalance.Add(imSeries)
+	return res, nil
+}

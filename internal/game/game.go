@@ -1,0 +1,627 @@
+// Package game implements the Knights and Archers prototype game server of
+// Section 4.4 (based on the game of White et al., SIGMOD 2007 [37]): a
+// medieval battle between two teams of knights, archers and healers, each
+// unit controlled by a simple decision tree. The game is instrumented so
+// that every attribute write is reported as a cell update, producing the
+// realistic update traces of Table 5: 400,128 units with 13 attributes each,
+// roughly 10% active at any moment, the active set churning so that it is
+// completely renewed every ~100 ticks with high probability, and position
+// updates (often along a single dimension) dominating the update mix.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gamestate"
+	"repro/internal/trace"
+)
+
+// Attribute indices: the 13 columns of the unit table.
+const (
+	AttrX          = iota // position
+	AttrY                 //
+	AttrHealth            // hit points
+	AttrStamina           // resource spent by healers
+	AttrTarget            // unit id of current target (-1 none)
+	AttrState             // State enum
+	AttrNextAttack        // earliest tick of the next attack
+	AttrNextHeal          // earliest tick of the next heal
+	AttrSquad             // squad id
+	AttrGoalX             // movement goal
+	AttrGoalY             //
+	AttrFacing            // heading in radians
+	AttrScore             // kills/heals accumulated
+	NumAttrs              // 13 (Table 5)
+)
+
+// State is the unit's behavioral state.
+type State int
+
+// Unit states.
+const (
+	StateIdle State = iota
+	StateMoving
+	StatePursuing
+	StateAttacking
+	StateHealing
+	StateDead
+)
+
+// Class is the unit type.
+type Class uint8
+
+// Unit classes.
+const (
+	Knight Class = iota
+	Archer
+	Healer
+)
+
+// Recorder receives every attribute write the game performs. Cell indices
+// follow the row-major layout of gamestate.Table{Rows: Units, Cols: 13}.
+type Recorder interface {
+	RecordUpdate(cell uint32, value float32)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(cell uint32, value float32)
+
+// RecordUpdate implements Recorder.
+func (f RecorderFunc) RecordUpdate(cell uint32, value float32) { f(cell, value) }
+
+// Config parameterizes the battle.
+type Config struct {
+	// Units is the total number of units across both teams (Table 5 uses
+	// 400,128).
+	Units int
+	// Seed drives all randomness; the same seed reproduces the same battle
+	// tick for tick.
+	Seed int64
+	// ActiveFraction is the share of units simulated each tick (the paper's
+	// game keeps 10% of the characters active).
+	ActiveFraction float64
+	// ChurnPerTick is the fraction of the active set replaced each tick.
+	// The default 0.07 renews the active set completely within ~100 ticks
+	// with high probability ((1-0.07)^100 ≈ 7e-4).
+	ChurnPerTick float64
+	// WorldSize is the side length of the square battlefield.
+	WorldSize float64
+	// SquadSize is the number of consecutive unit ids forming a squad.
+	SquadSize int
+}
+
+// DefaultConfig returns the Table 5 battle: 400,128 units, 10% active.
+func DefaultConfig() Config {
+	return Config{
+		Units:          400_128,
+		Seed:           1,
+		ActiveFraction: 0.10,
+		ChurnPerTick:   0.07,
+		WorldSize:      2048,
+		SquadSize:      16,
+	}
+}
+
+// Validate reports whether the configuration is playable.
+func (c Config) Validate() error {
+	switch {
+	case c.Units < 2:
+		return errors.New("game: need at least two units")
+	case c.Units%2 != 0:
+		return errors.New("game: units must split evenly into two teams")
+	case c.ActiveFraction <= 0 || c.ActiveFraction > 1:
+		return fmt.Errorf("game: active fraction %v out of (0,1]", c.ActiveFraction)
+	case c.ChurnPerTick < 0 || c.ChurnPerTick > 1:
+		return fmt.Errorf("game: churn %v out of [0,1]", c.ChurnPerTick)
+	case c.WorldSize <= 0:
+		return errors.New("game: world size must be positive")
+	case c.SquadSize <= 0:
+		return errors.New("game: squad size must be positive")
+	}
+	return nil
+}
+
+// Tunables of the combat model. They are constants of the game logic, not
+// experiment parameters.
+const (
+	moveSpeed    = 4.0  // distance per tick
+	meleeRange   = 6.0  // knights attack within this distance
+	arrowRange   = 48.0 // archers attack within this distance
+	healRange    = 24.0 // healers heal within this distance
+	aggroRange   = 64.0 // pursuit acquisition radius
+	meleeDamage  = 9.0
+	arrowDamage  = 5.0
+	healAmount   = 7.0
+	maxHealth    = 100.0
+	maxStamina   = 50.0
+	attackPeriod = 10 // ticks between attacks
+	healPeriod   = 6  // ticks between heals
+	axisEpsilon  = 0.5
+)
+
+// Game is a running battle.
+type Game struct {
+	cfg   Config
+	rng   *rand.Rand
+	table gamestate.Table
+
+	attrs  []float32 // Units × NumAttrs, row-major
+	class  []Class
+	active []int32
+	isAct  []bool
+	grid   *grid
+	tick   int
+
+	// Per-tick squad cohesion aggregates, rebuilt in Step: sum of positions
+	// and member count of each squad's active units.
+	squadSumX []float64
+	squadSumY []float64
+	squadN    []int32
+
+	rec        Recorder
+	updates    int64 // total attribute writes recorded
+	tickWrites int64 // writes in the current tick
+
+	baseX [2]float64
+	baseY [2]float64
+}
+
+// New creates a battle in its initial deployment.
+func New(cfg Config) (*Game, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Game{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		table: gamestate.Table{Rows: cfg.Units, Cols: NumAttrs, CellSize: 4, ObjSize: 512},
+		attrs: make([]float32, cfg.Units*NumAttrs),
+		class: make([]Class, cfg.Units),
+		isAct: make([]bool, cfg.Units),
+		grid:  newGrid(cfg.WorldSize, 32),
+	}
+	g.baseX = [2]float64{cfg.WorldSize * 0.1, cfg.WorldSize * 0.9}
+	g.baseY = [2]float64{cfg.WorldSize * 0.1, cfg.WorldSize * 0.9}
+	numSquads := (cfg.Units + cfg.SquadSize - 1) / cfg.SquadSize
+	g.squadSumX = make([]float64, numSquads)
+	g.squadSumY = make([]float64, numSquads)
+	g.squadN = make([]int32, numSquads)
+	g.deploy()
+	return g, nil
+}
+
+// deploy places every unit near its team base and assigns classes and
+// squads. Deployment writes directly (not through the recorder): it is the
+// initial state, not tick updates.
+func (g *Game) deploy() {
+	half := g.cfg.Units / 2
+	for u := 0; u < g.cfg.Units; u++ {
+		team := 0
+		if u >= half {
+			team = 1
+		}
+		// 60% knights, 25% archers, 15% healers, deterministic by id.
+		switch {
+		case u%20 < 12:
+			g.class[u] = Knight
+		case u%20 < 17:
+			g.class[u] = Archer
+		default:
+			g.class[u] = Healer
+		}
+		spread := g.cfg.WorldSize * 0.35
+		x := g.baseX[team] + (g.rng.Float64()-0.5)*spread
+		y := g.baseY[team] + (g.rng.Float64()-0.5)*spread
+		g.attrs[u*NumAttrs+AttrX] = float32(clamp(x, 0, g.cfg.WorldSize))
+		g.attrs[u*NumAttrs+AttrY] = float32(clamp(y, 0, g.cfg.WorldSize))
+		g.attrs[u*NumAttrs+AttrHealth] = maxHealth
+		g.attrs[u*NumAttrs+AttrStamina] = maxStamina
+		g.attrs[u*NumAttrs+AttrTarget] = -1
+		g.attrs[u*NumAttrs+AttrSquad] = float32(u / g.cfg.SquadSize)
+		g.attrs[u*NumAttrs+AttrGoalX] = g.attrs[u*NumAttrs+AttrX]
+		g.attrs[u*NumAttrs+AttrGoalY] = g.attrs[u*NumAttrs+AttrY]
+	}
+	// Initial active set.
+	want := g.targetActive()
+	for len(g.active) < want {
+		u := int32(g.rng.Intn(g.cfg.Units))
+		if !g.isAct[u] {
+			g.isAct[u] = true
+			g.active = append(g.active, u)
+		}
+	}
+}
+
+func (g *Game) targetActive() int {
+	n := int(float64(g.cfg.Units) * g.cfg.ActiveFraction)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SetRecorder installs the update recorder (may be nil to disable).
+func (g *Game) SetRecorder(r Recorder) { g.rec = r }
+
+// Table returns the gamestate geometry of this battle: Units rows × 13
+// columns of 4-byte cells in 512-byte atomic objects.
+func (g *Game) Table() gamestate.Table { return g.table }
+
+// TickIndex returns the number of completed ticks.
+func (g *Game) TickIndex() int { return g.tick }
+
+// ActiveCount returns the current size of the active set.
+func (g *Game) ActiveCount() int { return len(g.active) }
+
+// TotalUpdates returns the number of attribute writes recorded so far.
+func (g *Game) TotalUpdates() int64 { return g.updates }
+
+// Attr reads one attribute.
+func (g *Game) Attr(unit, attr int) float32 {
+	return g.attrs[unit*NumAttrs+attr]
+}
+
+// ClassOf returns the unit's class.
+func (g *Game) ClassOf(unit int) Class { return g.class[unit] }
+
+// set writes an attribute, recording the update. Writes that do not change
+// the value are suppressed — this is what makes a unit moving along one axis
+// produce one update, not two ("many characters update their position during
+// each tick, possibly only in one dimension").
+func (g *Game) set(unit int32, attr int, v float32) {
+	idx := int(unit)*NumAttrs + attr
+	if g.attrs[idx] == v {
+		return
+	}
+	g.attrs[idx] = v
+	g.updates++
+	g.tickWrites++
+	if g.rec != nil {
+		g.rec.RecordUpdate(uint32(idx), v)
+	}
+}
+
+func (g *Game) get(unit int32, attr int) float32 {
+	return g.attrs[int(unit)*NumAttrs+attr]
+}
+
+func (g *Game) team(unit int32) int {
+	if int(unit) >= g.cfg.Units/2 {
+		return 1
+	}
+	return 0
+}
+
+// Step advances the battle by one tick and returns the number of attribute
+// updates performed during it.
+func (g *Game) Step() int {
+	g.tickWrites = 0
+	g.churn()
+	g.grid.rebuild(g)
+	g.rebuildSquads()
+	for _, u := range g.active {
+		g.act(u)
+	}
+	g.tick++
+	return int(g.tickWrites)
+}
+
+// rebuildSquads recomputes each squad's active-member centroid aggregate in
+// one pass; squadCentroid then answers cohesion queries in O(1) instead of a
+// spatial scan per unit.
+func (g *Game) rebuildSquads() {
+	for i := range g.squadN {
+		g.squadSumX[i] = 0
+		g.squadSumY[i] = 0
+		g.squadN[i] = 0
+	}
+	for _, u := range g.active {
+		if g.get(u, AttrHealth) <= 0 {
+			continue
+		}
+		s := int(u) / g.cfg.SquadSize
+		g.squadSumX[s] += float64(g.get(u, AttrX))
+		g.squadSumY[s] += float64(g.get(u, AttrY))
+		g.squadN[s]++
+	}
+}
+
+// scanTick reports whether this unit re-scans for targets this tick. Target
+// acquisition is staggered across four ticks so the spatial queries — the
+// expensive part of the decision trees — run at a quarter of the tick rate
+// per unit, as real games do with sensor ticks.
+func (g *Game) scanTick(u int32) bool { return (g.tick+int(u))&3 == 0 }
+
+// churn retires a fraction of the active set and activates replacements, so
+// the active set is completely renewed every ~1/ChurnPerTick ticks.
+func (g *Game) churn() {
+	k := int(float64(len(g.active)) * g.cfg.ChurnPerTick)
+	for i := 0; i < k && len(g.active) > 0; i++ {
+		j := g.rng.Intn(len(g.active))
+		u := g.active[j]
+		g.isAct[u] = false
+		g.active[j] = g.active[len(g.active)-1]
+		g.active = g.active[:len(g.active)-1]
+	}
+	want := g.targetActive()
+	for len(g.active) < want {
+		u := int32(g.rng.Intn(g.cfg.Units))
+		if g.isAct[u] {
+			continue
+		}
+		g.isAct[u] = true
+		g.active = append(g.active, u)
+		// A freshly activated unit picks a destination: advance on the
+		// enemy base with some variance.
+		enemy := 1 - g.team(u)
+		gx := g.baseX[enemy] + (g.rng.Float64()-0.5)*g.cfg.WorldSize*0.3
+		gy := g.baseY[enemy] + (g.rng.Float64()-0.5)*g.cfg.WorldSize*0.3
+		g.set(u, AttrGoalX, float32(clamp(gx, 0, g.cfg.WorldSize)))
+		g.set(u, AttrGoalY, float32(clamp(gy, 0, g.cfg.WorldSize)))
+		if State(g.get(u, AttrState)) != StateDead {
+			g.set(u, AttrState, float32(StateMoving))
+		}
+	}
+}
+
+// act runs one unit's decision tree.
+func (g *Game) act(u int32) {
+	if State(g.get(u, AttrState)) == StateDead || g.get(u, AttrHealth) <= 0 {
+		g.respawn(u)
+		return
+	}
+	switch g.class[u] {
+	case Knight:
+		g.actKnight(u)
+	case Archer:
+		g.actArcher(u)
+	case Healer:
+		g.actHealer(u)
+	}
+}
+
+// respawn returns a dead unit to its home base at full health.
+func (g *Game) respawn(u int32) {
+	team := g.team(u)
+	g.set(u, AttrX, float32(g.baseX[team]))
+	g.set(u, AttrY, float32(g.baseY[team]))
+	g.set(u, AttrHealth, maxHealth)
+	g.set(u, AttrStamina, maxStamina)
+	g.set(u, AttrTarget, -1)
+	g.set(u, AttrState, float32(StateMoving))
+}
+
+// actKnight: attack and pursue nearby targets.
+func (g *Game) actKnight(u int32) {
+	target := g.validTarget(u, aggroRange)
+	if target < 0 && g.scanTick(u) {
+		target = g.findEnemy(u, aggroRange)
+		if target >= 0 {
+			g.set(u, AttrTarget, float32(target))
+		}
+	}
+	if target < 0 {
+		g.set(u, AttrState, float32(StateMoving))
+		g.moveTowardGoal(u)
+		return
+	}
+	d := g.distance(u, target)
+	if d <= meleeRange {
+		g.set(u, AttrState, float32(StateAttacking))
+		g.attack(u, target, meleeDamage, attackPeriod)
+		return
+	}
+	g.set(u, AttrState, float32(StatePursuing))
+	g.moveToward(u, float64(g.get(target, AttrX)), float64(g.get(target, AttrY)))
+}
+
+// actArcher: attack from range while staying near allied units.
+func (g *Game) actArcher(u int32) {
+	target := g.validTarget(u, arrowRange)
+	if target < 0 && g.scanTick(u) {
+		target = g.findEnemy(u, arrowRange)
+		if target >= 0 {
+			g.set(u, AttrTarget, float32(target))
+		}
+	}
+	if target >= 0 {
+		g.set(u, AttrState, float32(StateAttacking))
+		g.attack(u, target, arrowDamage, attackPeriod)
+		return
+	}
+	// No one in range: cluster with allies (squad cohesion) while advancing.
+	ax, ay, ok := g.squadCentroid(u)
+	if ok {
+		g.set(u, AttrState, float32(StateMoving))
+		g.moveToward(u, ax, ay)
+		return
+	}
+	g.set(u, AttrState, float32(StateMoving))
+	g.moveTowardGoal(u)
+}
+
+// actHealer: heal the weakest injured ally in range, otherwise follow squad.
+func (g *Game) actHealer(u int32) {
+	if g.get(u, AttrStamina) >= 1 {
+		ally := g.findWeakestAlly(u, healRange)
+		if ally >= 0 {
+			g.set(u, AttrState, float32(StateHealing))
+			g.heal(u, ally)
+			return
+		}
+	}
+	ax, ay, ok := g.squadCentroid(u)
+	if ok {
+		g.set(u, AttrState, float32(StateMoving))
+		g.moveToward(u, ax, ay)
+		return
+	}
+	g.set(u, AttrState, float32(StateMoving))
+	g.moveTowardGoal(u)
+}
+
+// validTarget returns the unit's current target if it is still alive and
+// within radius, else -1.
+func (g *Game) validTarget(u int32, radius float64) int32 {
+	t := int32(g.get(u, AttrTarget))
+	if t < 0 || int(t) >= g.cfg.Units {
+		return -1
+	}
+	if g.get(t, AttrHealth) <= 0 || g.team(t) == g.team(u) {
+		return -1
+	}
+	if g.distance(u, t) > radius {
+		return -1
+	}
+	return t
+}
+
+// attack damages the target if the attack cooldown has elapsed.
+func (g *Game) attack(u, target int32, damage float64, period int) {
+	if float64(g.tick) < float64(g.get(u, AttrNextAttack)) {
+		return // still on cooldown: no updates this tick
+	}
+	g.set(u, AttrNextAttack, float32(g.tick+period))
+	h := g.get(target, AttrHealth) - float32(damage)
+	if h <= 0 {
+		g.set(target, AttrHealth, 0)
+		g.set(target, AttrState, float32(StateDead))
+		g.set(u, AttrScore, g.get(u, AttrScore)+1)
+		g.set(u, AttrTarget, -1)
+		return
+	}
+	g.set(target, AttrHealth, h)
+}
+
+// heal restores the ally's health and spends stamina.
+func (g *Game) heal(u, ally int32) {
+	if float64(g.tick) < float64(g.get(u, AttrNextHeal)) {
+		return
+	}
+	g.set(u, AttrNextHeal, float32(g.tick+healPeriod))
+	h := g.get(ally, AttrHealth) + healAmount
+	if h > maxHealth {
+		h = maxHealth
+	}
+	g.set(ally, AttrHealth, h)
+	g.set(u, AttrStamina, g.get(u, AttrStamina)-1)
+	g.set(u, AttrScore, g.get(u, AttrScore)+0.1)
+}
+
+// moveTowardGoal advances toward the unit's long-term goal.
+func (g *Game) moveTowardGoal(u int32) {
+	g.moveToward(u, float64(g.get(u, AttrGoalX)), float64(g.get(u, AttrGoalY)))
+}
+
+// moveToward advances along the dominant axis toward (gx, gy). Moving along
+// a single axis per tick is what gives the paper's trace its "position
+// update in possibly only one dimension" shape; the occasional rest tick
+// keeps the average update rate near Table 5's one-update-per-active-unit.
+func (g *Game) moveToward(u int32, gx, gy float64) {
+	if g.rng.Intn(4) == 0 {
+		return // resting this tick: no movement updates
+	}
+	x, y := float64(g.get(u, AttrX)), float64(g.get(u, AttrY))
+	dx, dy := gx-x, gy-y
+	adx, ady := math.Abs(dx), math.Abs(dy)
+	if adx < axisEpsilon && ady < axisEpsilon {
+		// Arrived: pick a fresh local goal occasionally to keep formations
+		// shifting, otherwise stand (no updates).
+		if g.rng.Intn(16) == 0 {
+			nx := clamp(x+(g.rng.Float64()-0.5)*128, 0, g.cfg.WorldSize)
+			ny := clamp(y+(g.rng.Float64()-0.5)*128, 0, g.cfg.WorldSize)
+			g.set(u, AttrGoalX, float32(nx))
+			g.set(u, AttrGoalY, float32(ny))
+		}
+		return
+	}
+	step := moveSpeed
+	if adx >= ady {
+		if adx < step {
+			step = adx
+		}
+		g.set(u, AttrX, float32(x+math.Copysign(step, dx)))
+	} else {
+		if ady < step {
+			step = ady
+		}
+		g.set(u, AttrY, float32(y+math.Copysign(step, dy)))
+	}
+	// Facing changes only when the heading moves by a noticeable amount, so
+	// it updates rarely.
+	facing := float32(math.Atan2(dy, dx))
+	if diff := math.Abs(float64(facing - g.get(u, AttrFacing))); diff > 0.5 {
+		g.set(u, AttrFacing, facing)
+	}
+}
+
+func (g *Game) distance(a, b int32) float64 {
+	dx := float64(g.get(a, AttrX) - g.get(b, AttrX))
+	dy := float64(g.get(a, AttrY) - g.get(b, AttrY))
+	return math.Hypot(dx, dy)
+}
+
+// Stats returns Table 5-style characteristics measured so far.
+type Stats struct {
+	Units          int
+	Attrs          int
+	Ticks          int
+	TotalUpdates   int64
+	AvgUpdatesTick float64
+	ActiveUnits    int
+}
+
+// Stats reports the battle's measured characteristics.
+func (g *Game) Stats() Stats {
+	s := Stats{
+		Units:        g.cfg.Units,
+		Attrs:        NumAttrs,
+		Ticks:        g.tick,
+		TotalUpdates: g.updates,
+		ActiveUnits:  len(g.active),
+	}
+	if g.tick > 0 {
+		s.AvgUpdatesTick = float64(g.updates) / float64(g.tick)
+	}
+	return s
+}
+
+// String renders the stats like Table 5.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"units=%d attrs/unit=%d ticks=%d avg updates/tick=%.0f active=%d",
+		s.Units, s.Attrs, s.Ticks, s.AvgUpdatesTick, s.ActiveUnits)
+}
+
+// GenerateTrace runs a battle for the given number of ticks and returns the
+// recorded update trace together with the final game stats.
+func GenerateTrace(cfg Config, ticks int) (*trace.Memory, Stats, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	mem := trace.NewMemory(g.table.NumCells())
+	var tickBuf []uint32
+	g.SetRecorder(RecorderFunc(func(cell uint32, _ float32) {
+		tickBuf = append(tickBuf, cell)
+	}))
+	for t := 0; t < ticks; t++ {
+		tickBuf = tickBuf[:0]
+		g.Step()
+		mem.Append(tickBuf)
+	}
+	return mem, g.Stats(), nil
+}

@@ -1,0 +1,386 @@
+package game
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// testConfig returns a battle scaled to 1% of Table 5 for fast tests.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Units = 4000
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Units = 1 },
+		func(c *Config) { c.Units = 3 }, // odd
+		func(c *Config) { c.ActiveFraction = 0 },
+		func(c *Config) { c.ActiveFraction = 1.5 },
+		func(c *Config) { c.ChurnPerTick = -0.1 },
+		func(c *Config) { c.ChurnPerTick = 1.1 },
+		func(c *Config) { c.WorldSize = 0 },
+		func(c *Config) { c.SquadSize = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigMatchesTable5(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Units != 400_128 {
+		t.Errorf("Units = %d, want 400,128", cfg.Units)
+	}
+	if NumAttrs != 13 {
+		t.Errorf("NumAttrs = %d, want 13", NumAttrs)
+	}
+	if cfg.ActiveFraction != 0.10 {
+		t.Errorf("ActiveFraction = %v, want 0.10", cfg.ActiveFraction)
+	}
+}
+
+func TestTableGeometry(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := g.Table()
+	if tab.Rows != 4000 || tab.Cols != 13 {
+		t.Errorf("table %dx%d, want 4000x13", tab.Rows, tab.Cols)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Errorf("game table invalid: %v", err)
+	}
+}
+
+func TestActiveSetSizeAndChurn(t *testing.T) {
+	cfg := testConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(float64(cfg.Units) * cfg.ActiveFraction)
+	if got := g.ActiveCount(); got != want {
+		t.Fatalf("initial active = %d, want %d", got, want)
+	}
+	// "The active set ... is completely renewed every 100 ticks with high
+	// probability": track continuous membership — after 100 ticks nearly no
+	// unit should have stayed active the whole time (units may leave and
+	// later rejoin, but the set must not be sticky).
+	stayed := map[int32]bool{}
+	for _, u := range g.active {
+		stayed[u] = true
+	}
+	for i := 0; i < 100; i++ {
+		g.Step()
+		still := map[int32]bool{}
+		for _, u := range g.active {
+			if stayed[u] {
+				still[u] = true
+			}
+		}
+		stayed = still
+	}
+	if got := g.ActiveCount(); got != want {
+		t.Errorf("active after 100 ticks = %d, want %d", got, want)
+	}
+	if float64(len(stayed)) > 0.02*float64(want) {
+		t.Errorf("%d of %d units stayed active through all 100 ticks", len(stayed), want)
+	}
+}
+
+// TestUpdateRateMatchesTable5Shape checks the headline trace characteristic:
+// roughly one attribute update per active unit per tick (Table 5 reports
+// 35,590 avg updates/tick for 40,013 active units — a ratio of ≈0.89).
+func TestUpdateRateMatchesTable5Shape(t *testing.T) {
+	cfg := testConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	const ticks = 120
+	for i := 0; i < ticks; i++ {
+		total += int64(g.Step())
+	}
+	avg := float64(total) / ticks
+	active := float64(g.ActiveCount())
+	ratio := avg / active
+	if ratio < 0.4 || ratio > 2.0 {
+		t.Errorf("updates per active unit per tick = %.2f, want ≈0.9 (Table 5 shape)", ratio)
+	}
+	st := g.Stats()
+	if st.Ticks != ticks || st.TotalUpdates != total {
+		t.Errorf("stats mismatch: %+v vs total %d", st, total)
+	}
+	if st.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, float32) {
+		g, err := New(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			g.Step()
+		}
+		return g.TotalUpdates(), g.Attr(100, AttrX)
+	}
+	u1, x1 := run()
+	u2, x2 := run()
+	if u1 != u2 || x1 != x2 {
+		t.Errorf("same seed diverged: (%d,%v) vs (%d,%v)", u1, x1, u2, x2)
+	}
+	cfg := testConfig()
+	cfg.Seed = 99
+	g, _ := New(cfg)
+	for i := 0; i < 50; i++ {
+		g.Step()
+	}
+	if g.TotalUpdates() == u1 {
+		t.Log("note: different seeds produced identical update counts (possible but unlikely)")
+	}
+}
+
+func TestRecorderSeesEveryUpdate(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recorded int64
+	cells := g.Table().NumCells()
+	g.SetRecorder(RecorderFunc(func(cell uint32, _ float32) {
+		if int(cell) >= cells {
+			t.Fatalf("cell %d out of range %d", cell, cells)
+		}
+		recorded++
+	}))
+	var stepped int64
+	for i := 0; i < 30; i++ {
+		stepped += int64(g.Step())
+	}
+	if recorded != stepped {
+		t.Errorf("recorder saw %d updates, Step reported %d", recorded, stepped)
+	}
+	if recorded != g.TotalUpdates() {
+		t.Errorf("recorder saw %d, TotalUpdates %d", recorded, g.TotalUpdates())
+	}
+}
+
+func TestRecorderValuesMatchState(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shadow-apply every recorded update; shadow must equal live state.
+	shadow := make([]float32, g.Table().NumCells())
+	copy(shadow, g.attrs)
+	g.SetRecorder(RecorderFunc(func(cell uint32, v float32) {
+		shadow[cell] = v
+	}))
+	for i := 0; i < 40; i++ {
+		g.Step()
+	}
+	for i, v := range g.attrs {
+		if shadow[i] != v {
+			t.Fatalf("cell %d: shadow %v != live %v (updates not fully recorded)",
+				i, shadow[i], v)
+		}
+	}
+}
+
+func TestCombatHappens(t *testing.T) {
+	cfg := testConfig()
+	cfg.WorldSize = 256 // small battlefield forces contact
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		g.Step()
+	}
+	damaged, healedOrDead := 0, 0
+	for u := 0; u < cfg.Units; u++ {
+		h := g.Attr(u, AttrHealth)
+		if h < maxHealth {
+			damaged++
+		}
+		if h <= 0 || State(g.Attr(u, AttrState)) == StateDead {
+			healedOrDead++
+		}
+	}
+	if damaged == 0 {
+		t.Error("no unit ever took damage — combat not exercised")
+	}
+	// Some units should have scored.
+	scored := 0
+	for u := 0; u < cfg.Units; u++ {
+		if g.Attr(u, AttrScore) > 0 {
+			scored++
+		}
+	}
+	if scored == 0 {
+		t.Error("no unit ever scored")
+	}
+}
+
+func TestPositionsStayInWorld(t *testing.T) {
+	cfg := testConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		g.Step()
+	}
+	for u := 0; u < cfg.Units; u++ {
+		x, y := g.Attr(u, AttrX), g.Attr(u, AttrY)
+		if x < 0 || float64(x) > cfg.WorldSize || y < 0 || float64(y) > cfg.WorldSize {
+			t.Fatalf("unit %d escaped the world: (%v,%v)", u, x, y)
+		}
+	}
+}
+
+func TestPositionUpdatesDominate(t *testing.T) {
+	cfg := testConfig()
+	cfg.WorldSize = 512 // bring the armies into contact within the test run
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAttr := make([]int64, NumAttrs)
+	g.SetRecorder(RecorderFunc(func(cell uint32, _ float32) {
+		byAttr[int(cell)%NumAttrs]++
+	}))
+	for i := 0; i < 150; i++ {
+		g.Step()
+	}
+	pos := byAttr[AttrX] + byAttr[AttrY]
+	var total int64
+	for _, c := range byAttr {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no updates recorded")
+	}
+	if share := float64(pos) / float64(total); share < 0.4 {
+		t.Errorf("position updates are %.0f%% of all updates; paper expects movement to dominate",
+			share*100)
+	}
+	// Health must update too, but far less often than position.
+	if byAttr[AttrHealth] == 0 {
+		t.Error("health never updated")
+	}
+	if byAttr[AttrHealth] > pos {
+		t.Errorf("health updates (%d) exceed position updates (%d)", byAttr[AttrHealth], pos)
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	cfg := testConfig()
+	const ticks = 50
+	mem, st, err := GenerateTrace(cfg, ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.NumTicks() != ticks {
+		t.Fatalf("trace has %d ticks, want %d", mem.NumTicks(), ticks)
+	}
+	if st.Ticks != ticks {
+		t.Errorf("stats ticks = %d", st.Ticks)
+	}
+	ts := trace.Measure(mem)
+	if ts.TotalUpdates != st.TotalUpdates {
+		t.Errorf("trace updates %d != game updates %d", ts.TotalUpdates, st.TotalUpdates)
+	}
+	if ts.Cells != cfg.Units*NumAttrs {
+		t.Errorf("trace cells = %d, want %d", ts.Cells, cfg.Units*NumAttrs)
+	}
+}
+
+func TestGenerateTraceRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.Units = 3
+	if _, _, err := GenerateTrace(cfg, 5); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestRespawnRestoresUnit(t *testing.T) {
+	cfg := testConfig()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.active[0]
+	g.set(u, AttrHealth, 0)
+	g.set(u, AttrState, float32(StateDead))
+	g.respawn(u)
+	if g.Attr(int(u), AttrHealth) != maxHealth {
+		t.Error("respawn did not restore health")
+	}
+	if State(g.Attr(int(u), AttrState)) == StateDead {
+		t.Error("respawn left unit dead")
+	}
+	team := g.team(u)
+	if g.Attr(int(u), AttrX) != float32(g.baseX[team]) {
+		t.Error("respawn did not return unit to base")
+	}
+}
+
+func TestClassDistribution(t *testing.T) {
+	g, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [3]int
+	for u := 0; u < 4000; u++ {
+		counts[g.ClassOf(u)]++
+	}
+	if counts[Knight] <= counts[Archer] || counts[Archer] <= counts[Healer] {
+		t.Errorf("class mix %v should be knights > archers > healers", counts)
+	}
+	if counts[Healer] == 0 {
+		t.Error("no healers")
+	}
+}
+
+func BenchmarkStep4kUnits(b *testing.B) {
+	g, err := New(testConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}
+
+func BenchmarkStepFullScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-scale game in -short mode")
+	}
+	g, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+}

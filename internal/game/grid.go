@@ -1,0 +1,146 @@
+package game
+
+import "math"
+
+// grid is a uniform spatial index over the active units, rebuilt every tick.
+// Neighbor queries back target acquisition (knights/archers), healing target
+// selection, and squad cohesion.
+type grid struct {
+	cellSize float64
+	dim      int
+	cells    [][]int32
+}
+
+func newGrid(worldSize, cellSize float64) *grid {
+	dim := int(math.Ceil(worldSize / cellSize))
+	if dim < 1 {
+		dim = 1
+	}
+	g := &grid{cellSize: cellSize, dim: dim}
+	g.cells = make([][]int32, dim*dim)
+	return g
+}
+
+func (gr *grid) cellOf(x, y float64) int {
+	cx := int(x / gr.cellSize)
+	cy := int(y / gr.cellSize)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= gr.dim {
+		cx = gr.dim - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= gr.dim {
+		cy = gr.dim - 1
+	}
+	return cy*gr.dim + cx
+}
+
+// rebuild re-inserts all active units, reusing cell storage.
+func (gr *grid) rebuild(g *Game) {
+	for i := range gr.cells {
+		gr.cells[i] = gr.cells[i][:0]
+	}
+	for _, u := range g.active {
+		c := gr.cellOf(float64(g.get(u, AttrX)), float64(g.get(u, AttrY)))
+		gr.cells[c] = append(gr.cells[c], u)
+	}
+}
+
+// forNeighbors visits every active unit within radius of (x, y). Iteration
+// order is deterministic: cells in row-major order, units in insertion
+// order.
+func (gr *grid) forNeighbors(g *Game, x, y, radius float64, fn func(u int32, d float64)) {
+	r2 := radius * radius
+	cx0 := int((x - radius) / gr.cellSize)
+	cx1 := int((x + radius) / gr.cellSize)
+	cy0 := int((y - radius) / gr.cellSize)
+	cy1 := int((y + radius) / gr.cellSize)
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx1 >= gr.dim {
+		cx1 = gr.dim - 1
+	}
+	if cy1 >= gr.dim {
+		cy1 = gr.dim - 1
+	}
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, u := range gr.cells[cy*gr.dim+cx] {
+				dx := float64(g.get(u, AttrX)) - x
+				dy := float64(g.get(u, AttrY)) - y
+				d2 := dx*dx + dy*dy
+				if d2 <= r2 {
+					fn(u, math.Sqrt(d2))
+				}
+			}
+		}
+	}
+}
+
+// findEnemy returns the closest living enemy within radius, or -1.
+func (g *Game) findEnemy(u int32, radius float64) int32 {
+	x, y := float64(g.get(u, AttrX)), float64(g.get(u, AttrY))
+	team := g.team(u)
+	best := int32(-1)
+	bestD := math.Inf(1)
+	g.grid.forNeighbors(g, x, y, radius, func(v int32, d float64) {
+		if v == u || g.team(v) == team || g.get(v, AttrHealth) <= 0 {
+			return
+		}
+		if d < bestD {
+			bestD = d
+			best = v
+		}
+	})
+	return best
+}
+
+// findWeakestAlly returns the most injured living ally within radius whose
+// health is below maximum, or -1.
+func (g *Game) findWeakestAlly(u int32, radius float64) int32 {
+	x, y := float64(g.get(u, AttrX)), float64(g.get(u, AttrY))
+	team := g.team(u)
+	best := int32(-1)
+	bestH := float32(maxHealth)
+	g.grid.forNeighbors(g, x, y, radius, func(v int32, _ float64) {
+		if v == u || g.team(v) != team {
+			return
+		}
+		h := g.get(v, AttrHealth)
+		if h <= 0 || h >= maxHealth {
+			return
+		}
+		if h < bestH {
+			bestH = h
+			best = v
+		}
+	})
+	return best
+}
+
+// squadCentroid returns the centroid of the unit's active living squadmates
+// (units "try to cluster with allies to form squads"). The per-squad
+// aggregates are rebuilt once per tick, so this is O(1).
+func (g *Game) squadCentroid(u int32) (x, y float64, ok bool) {
+	s := int(u) / g.cfg.SquadSize
+	n := g.squadN[s]
+	sx, sy := g.squadSumX[s], g.squadSumY[s]
+	// Exclude the unit's own contribution if it was aggregated.
+	if g.isAct[u] && g.get(u, AttrHealth) > 0 {
+		sx -= float64(g.get(u, AttrX))
+		sy -= float64(g.get(u, AttrY))
+		n--
+	}
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return sx / float64(n), sy / float64(n), true
+}

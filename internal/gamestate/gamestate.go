@@ -1,0 +1,101 @@
+// Package gamestate models the game state table of Section 2.1: a table of
+// rows (game objects such as characters) and columns (their attributes).
+// Updates arrive at the granularity of a cell (one attribute of one row) and
+// are mapped onto fixed-size atomic objects — the unit of checkpointing,
+// which the paper sets to one 512-byte disk sector (Section 4.1).
+package gamestate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Table describes the geometry of the game state.
+type Table struct {
+	// Rows is the number of game objects.
+	Rows int
+	// Cols is the number of attributes per game object.
+	Cols int
+	// CellSize is the size of one attribute value in bytes.
+	CellSize int
+	// ObjSize is the atomic object size in bytes (one disk sector). Cells
+	// are packed row-major into atomic objects; ObjSize must be a multiple
+	// of CellSize.
+	ObjSize int
+}
+
+// Default returns the synthetic-workload geometry of Table 4: one million
+// rows of ten 4-byte cells packed into 512-byte atomic objects. This yields
+// 78,125 atomic objects — a 40 MB state, the only packing consistent with
+// the paper's reported 0.68 s full-state flush and ≈17 ms full-state copy at
+// the Table 3 rates.
+func Default() Table {
+	return Table{Rows: 1_000_000, Cols: 10, CellSize: 4, ObjSize: 512}
+}
+
+// Validate reports whether the geometry is usable.
+func (t Table) Validate() error {
+	switch {
+	case t.Rows <= 0:
+		return errors.New("gamestate: rows must be positive")
+	case t.Cols <= 0:
+		return errors.New("gamestate: cols must be positive")
+	case t.CellSize <= 0:
+		return errors.New("gamestate: cell size must be positive")
+	case t.ObjSize <= 0:
+		return errors.New("gamestate: object size must be positive")
+	case t.ObjSize%t.CellSize != 0:
+		return fmt.Errorf("gamestate: object size %d not a multiple of cell size %d",
+			t.ObjSize, t.CellSize)
+	case int64(t.Rows)*int64(t.Cols) > int64(1)<<31:
+		return errors.New("gamestate: cell space exceeds 2^31")
+	}
+	return nil
+}
+
+// NumCells returns the number of cells in the table.
+func (t Table) NumCells() int { return t.Rows * t.Cols }
+
+// CellsPerObject returns how many cells pack into one atomic object.
+func (t Table) CellsPerObject() int { return t.ObjSize / t.CellSize }
+
+// NumObjects returns the number of atomic objects needed to hold the table,
+// rounding the final partially-filled object up.
+func (t Table) NumObjects() int {
+	cpo := t.CellsPerObject()
+	return (t.NumCells() + cpo - 1) / cpo
+}
+
+// StateBytes returns the checkpointable state size in bytes.
+func (t Table) StateBytes() int64 { return int64(t.NumObjects()) * int64(t.ObjSize) }
+
+// Cell returns the cell index of (row, col). Cells are laid out row-major.
+func (t Table) Cell(row, col int) uint32 {
+	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols {
+		panic(fmt.Sprintf("gamestate: cell (%d,%d) out of %dx%d table",
+			row, col, t.Rows, t.Cols))
+	}
+	return uint32(row*t.Cols + col)
+}
+
+// ObjectOf returns the atomic object containing the given cell.
+func (t Table) ObjectOf(cell uint32) int32 {
+	if int(cell) >= t.NumCells() {
+		panic(fmt.Sprintf("gamestate: cell %d out of range [0,%d)", cell, t.NumCells()))
+	}
+	return int32(int(cell) / t.CellsPerObject())
+}
+
+// RowCol returns the (row, col) of a cell index.
+func (t Table) RowCol(cell uint32) (row, col int) {
+	if int(cell) >= t.NumCells() {
+		panic(fmt.Sprintf("gamestate: cell %d out of range [0,%d)", cell, t.NumCells()))
+	}
+	return int(cell) / t.Cols, int(cell) % t.Cols
+}
+
+// String summarizes the geometry.
+func (t Table) String() string {
+	return fmt.Sprintf("%d rows x %d cols, %dB cells, %dB objects (%d objects, %d bytes)",
+		t.Rows, t.Cols, t.CellSize, t.ObjSize, t.NumObjects(), t.StateBytes())
+}

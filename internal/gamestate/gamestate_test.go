@@ -1,0 +1,136 @@
+package gamestate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	tab := Default()
+	if err := tab.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+	if got := tab.NumCells(); got != 10_000_000 {
+		t.Errorf("NumCells = %d, want 10,000,000 (Table 4)", got)
+	}
+	if got := tab.CellsPerObject(); got != 128 {
+		t.Errorf("CellsPerObject = %d, want 128", got)
+	}
+	if got := tab.NumObjects(); got != 78_125 {
+		t.Errorf("NumObjects = %d, want 78,125", got)
+	}
+	if got := tab.StateBytes(); got != 40_000_000 {
+		t.Errorf("StateBytes = %d, want 40 MB", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Table{
+		{Rows: 0, Cols: 1, CellSize: 4, ObjSize: 512},
+		{Rows: 1, Cols: 0, CellSize: 4, ObjSize: 512},
+		{Rows: 1, Cols: 1, CellSize: 0, ObjSize: 512},
+		{Rows: 1, Cols: 1, CellSize: 4, ObjSize: 0},
+		{Rows: 1, Cols: 1, CellSize: 3, ObjSize: 512},             // not a multiple
+		{Rows: 1 << 20, Cols: 1 << 12, CellSize: 4, ObjSize: 512}, // > 2^31 cells
+	}
+	for i, tab := range cases {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate() = nil, want error", i, tab)
+		}
+	}
+}
+
+func TestCellLayoutRowMajor(t *testing.T) {
+	tab := Table{Rows: 4, Cols: 3, CellSize: 4, ObjSize: 8}
+	if got := tab.Cell(0, 0); got != 0 {
+		t.Errorf("Cell(0,0) = %d", got)
+	}
+	if got := tab.Cell(1, 0); got != 3 {
+		t.Errorf("Cell(1,0) = %d, want 3", got)
+	}
+	if got := tab.Cell(3, 2); got != 11 {
+		t.Errorf("Cell(3,2) = %d, want 11", got)
+	}
+	row, col := tab.RowCol(7)
+	if row != 2 || col != 1 {
+		t.Errorf("RowCol(7) = (%d,%d), want (2,1)", row, col)
+	}
+}
+
+func TestObjectOfPacksCells(t *testing.T) {
+	tab := Table{Rows: 4, Cols: 3, CellSize: 4, ObjSize: 8} // 2 cells per object
+	wantObjects := 6                                        // ceil(12/2)
+	if got := tab.NumObjects(); got != wantObjects {
+		t.Fatalf("NumObjects = %d, want %d", got, wantObjects)
+	}
+	for cell := 0; cell < tab.NumCells(); cell++ {
+		if got, want := tab.ObjectOf(uint32(cell)), int32(cell/2); got != want {
+			t.Errorf("ObjectOf(%d) = %d, want %d", cell, got, want)
+		}
+	}
+}
+
+func TestPartialFinalObjectRoundsUp(t *testing.T) {
+	tab := Table{Rows: 1, Cols: 5, CellSize: 4, ObjSize: 8} // 5 cells, 2 per object
+	if got := tab.NumObjects(); got != 3 {
+		t.Errorf("NumObjects = %d, want 3", got)
+	}
+	if got := tab.ObjectOf(4); got != 2 {
+		t.Errorf("ObjectOf(4) = %d, want 2", got)
+	}
+}
+
+func TestPanicsOnOutOfRange(t *testing.T) {
+	tab := Default()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Cell row", func() { tab.Cell(tab.Rows, 0) })
+	mustPanic("Cell col", func() { tab.Cell(0, tab.Cols) })
+	mustPanic("Cell negative", func() { tab.Cell(-1, 0) })
+	mustPanic("ObjectOf", func() { tab.ObjectOf(uint32(tab.NumCells())) })
+	mustPanic("RowCol", func() { tab.RowCol(uint32(tab.NumCells())) })
+}
+
+// Property: Cell and RowCol are inverses and ObjectOf is within range.
+func TestQuickCellRoundTrip(t *testing.T) {
+	f := func(rRaw, cRaw uint16) bool {
+		tab := Table{Rows: 1000, Cols: 13, CellSize: 4, ObjSize: 512}
+		row, col := int(rRaw)%tab.Rows, int(cRaw)%tab.Cols
+		cell := tab.Cell(row, col)
+		r2, c2 := tab.RowCol(cell)
+		obj := tab.ObjectOf(cell)
+		return r2 == row && c2 == col && obj >= 0 && int(obj) < tab.NumObjects()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ObjectOf is non-decreasing in the cell index, so offset-sorted
+// cell order corresponds to offset-sorted object order (needed for the
+// sorted double-backup writes of Section 3.2).
+func TestQuickObjectMonotone(t *testing.T) {
+	tab := Default()
+	f := func(a, b uint32) bool {
+		ca, cb := a%uint32(tab.NumCells()), b%uint32(tab.NumCells())
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return tab.ObjectOf(ca) <= tab.ObjectOf(cb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if Default().String() == "" {
+		t.Error("String() is empty")
+	}
+}

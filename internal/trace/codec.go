@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Binary trace format, written by cmd/tracegen and consumed by cmd/checksim:
+//
+//	magic "MMTR" | version u8 | numCells uvarint | numTicks uvarint
+//	per tick: count uvarint, then count signed varint deltas between
+//	consecutive cell indices (first delta is from 0), preserving update order
+//	trailer: crc32 (IEEE) of everything before it, little-endian u32
+//
+// Deltas rather than raw indices roughly halve the size of game traces,
+// whose updates cluster by unit.
+
+var magic = [4]byte{'M', 'M', 'T', 'R'}
+
+const formatVersion = 1
+
+// ErrCorrupt is returned when a trace file fails structural or checksum
+// validation.
+var ErrCorrupt = errors.New("trace: corrupt trace file")
+
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// Write encodes src into w.
+func Write(w io.Writer, src Source) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	cw := &crcWriter{w: bw}
+	var hdr []byte
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, formatVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(src.NumCells()))
+	hdr = binary.AppendUvarint(hdr, uint64(src.NumTicks()))
+	if _, err := cw.Write(hdr); err != nil {
+		return err
+	}
+	var buf []uint32
+	var enc []byte
+	for t := 0; t < src.NumTicks(); t++ {
+		buf = src.AppendTick(t, buf[:0])
+		enc = enc[:0]
+		enc = binary.AppendUvarint(enc, uint64(len(buf)))
+		prev := int64(0)
+		for _, c := range buf {
+			enc = binary.AppendVarint(enc, int64(c)-prev)
+			prev = int64(c)
+		}
+		if _, err := cw.Write(enc); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (c *crcReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc = crc32.Update(c.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := io.ReadFull(c.r, p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Read decodes a trace written by Write into memory, verifying the checksum.
+func Read(r io.Reader) (*Memory, error) {
+	cr := &crcReader{r: bufio.NewReaderSize(r, 1<<16)}
+	var hdr [5]byte
+	if _, err := cr.Read(hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr[4])
+	}
+	cells, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: cells: %v", ErrCorrupt, err)
+	}
+	ticks, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ticks: %v", ErrCorrupt, err)
+	}
+	if cells > 1<<31 || ticks > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible sizes cells=%d ticks=%d",
+			ErrCorrupt, cells, ticks)
+	}
+	m := NewMemory(int(cells))
+	for t := uint64(0); t < ticks; t++ {
+		count, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: tick %d count: %v", ErrCorrupt, t, err)
+		}
+		if count > 1<<28 {
+			return nil, fmt.Errorf("%w: tick %d implausible count %d", ErrCorrupt, t, count)
+		}
+		updates := make([]uint32, count)
+		prev := int64(0)
+		for i := range updates {
+			d, err := binary.ReadVarint(cr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: tick %d update %d: %v", ErrCorrupt, t, i, err)
+			}
+			v := prev + d
+			if v < 0 || v >= int64(cells) {
+				return nil, fmt.Errorf("%w: tick %d cell %d out of range", ErrCorrupt, t, v)
+			}
+			updates[i] = uint32(v)
+			prev = v
+		}
+		m.Ticks = append(m.Ticks, updates)
+	}
+	wantCRC := cr.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(cr.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return m, nil
+}

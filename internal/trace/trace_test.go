@@ -1,0 +1,312 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gamestate"
+)
+
+func smallZipfCfg() ZipfianConfig {
+	return ZipfianConfig{
+		Table:          gamestate.Table{Rows: 1000, Cols: 10, CellSize: 4, ObjSize: 512},
+		UpdatesPerTick: 200,
+		Ticks:          20,
+		Skew:           0.8,
+		Seed:           7,
+	}
+}
+
+func TestZipfianConfigValidation(t *testing.T) {
+	ok := smallZipfCfg()
+	if _, err := NewZipfian(ok); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*ZipfianConfig){
+		func(c *ZipfianConfig) { c.UpdatesPerTick = 0 },
+		func(c *ZipfianConfig) { c.Ticks = 0 },
+		func(c *ZipfianConfig) { c.Skew = -0.1 },
+		func(c *ZipfianConfig) { c.Skew = 1.0 },
+		func(c *ZipfianConfig) { c.Table.Rows = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := smallZipfCfg()
+		mutate(&cfg)
+		if _, err := NewZipfian(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultZipfianConfigMatchesTable4(t *testing.T) {
+	cfg := DefaultZipfianConfig()
+	if cfg.UpdatesPerTick != 64_000 || cfg.Ticks != 1000 || cfg.Skew != 0.8 {
+		t.Errorf("defaults %+v do not match Table 4 bold values", cfg)
+	}
+	if cfg.Table.NumCells() != 10_000_000 {
+		t.Errorf("default cells = %d, want 10M", cfg.Table.NumCells())
+	}
+}
+
+func TestZipfianDeterministicAndOrderIndependent(t *testing.T) {
+	z, err := NewZipfian(smallZipfCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access ticks out of order; results must match in-order access.
+	tick5a := z.AppendTick(5, nil)
+	tick3 := z.AppendTick(3, nil)
+	tick5b := z.AppendTick(5, nil)
+	if !reflect.DeepEqual(tick5a, tick5b) {
+		t.Error("tick 5 differs between accesses")
+	}
+	if reflect.DeepEqual(tick5a, tick3) {
+		t.Error("distinct ticks produced identical updates (suspicious)")
+	}
+	if len(tick5a) != 200 {
+		t.Errorf("tick has %d updates, want 200", len(tick5a))
+	}
+	for _, c := range tick5a {
+		if int(c) >= z.NumCells() {
+			t.Fatalf("cell %d out of range", c)
+		}
+	}
+}
+
+func TestZipfianDifferentSeedsDiffer(t *testing.T) {
+	cfgA, cfgB := smallZipfCfg(), smallZipfCfg()
+	cfgB.Seed = 8
+	a, _ := NewZipfian(cfgA)
+	b, _ := NewZipfian(cfgB)
+	if reflect.DeepEqual(a.AppendTick(0, nil), b.AppendTick(0, nil)) {
+		t.Error("different seeds produced identical tick 0")
+	}
+}
+
+func TestZipfianPanicsOnBadTick(t *testing.T) {
+	z, _ := NewZipfian(smallZipfCfg())
+	for _, tick := range []int{-1, 20, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendTick(%d) did not panic", tick)
+				}
+			}()
+			z.AppendTick(tick, nil)
+		}()
+	}
+}
+
+func TestZipfianSkewShrinksDistinctSet(t *testing.T) {
+	mk := func(skew float64) Stats {
+		cfg := smallZipfCfg()
+		cfg.Skew = skew
+		cfg.UpdatesPerTick = 500
+		z, err := NewZipfian(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Measure(z)
+	}
+	uniform, skewed := mk(0), mk(0.99)
+	if skewed.DistinctCells >= uniform.DistinctCells {
+		t.Errorf("skew 0.99 distinct (%d) should be below uniform (%d)",
+			skewed.DistinctCells, uniform.DistinctCells)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m := NewMemory(100)
+	m.Append([]uint32{1, 2, 3})
+	m.Append([]uint32{1, 1, 1, 1, 1})
+	m.Append([]uint32{})
+	st := Measure(m)
+	if st.Ticks != 3 || st.Cells != 100 {
+		t.Errorf("stats header wrong: %+v", st)
+	}
+	if st.TotalUpdates != 8 {
+		t.Errorf("TotalUpdates = %d, want 8", st.TotalUpdates)
+	}
+	if st.MinPerTick != 0 || st.MaxPerTick != 5 {
+		t.Errorf("min/max = %d/%d, want 0/5", st.MinPerTick, st.MaxPerTick)
+	}
+	if st.DistinctCells != 3 {
+		t.Errorf("DistinctCells = %d, want 3", st.DistinctCells)
+	}
+	if st.AvgPerTick < 2.6 || st.AvgPerTick > 2.7 {
+		t.Errorf("AvgPerTick = %v, want 8/3", st.AvgPerTick)
+	}
+	if st.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestMemoryAppendCopies(t *testing.T) {
+	m := NewMemory(10)
+	src := []uint32{1, 2}
+	m.Append(src)
+	src[0] = 9
+	if m.Ticks[0][0] != 1 {
+		t.Error("Append aliases caller slice")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	z, err := NewZipfian(smallZipfCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTicks() != z.NumTicks() || m.NumCells() != z.NumCells() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			m.NumTicks(), m.NumCells(), z.NumTicks(), z.NumCells())
+	}
+	var a, b []uint32
+	for tick := 0; tick < z.NumTicks(); tick++ {
+		a = z.AppendTick(tick, a[:0])
+		b = m.AppendTick(tick, b[:0])
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("tick %d differs after round trip", tick)
+		}
+	}
+}
+
+func TestCodecEmptyTrace(t *testing.T) {
+	m := NewMemory(50)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTicks() != 0 || got.NumCells() != 50 {
+		t.Errorf("round trip of empty trace: %+v", got)
+	}
+}
+
+func TestCodecDetectsCorruption(t *testing.T) {
+	m := NewMemory(100)
+	m.Append([]uint32{5, 50, 99})
+	m.Append([]uint32{0, 1})
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip one byte anywhere: either a structural error or a checksum
+	// mismatch must result, never silent acceptance of different data.
+	for pos := 0; pos < len(good); pos++ {
+		bad := make([]byte, len(good))
+		copy(bad, good)
+		bad[pos] ^= 0xFF
+		got, err := Read(bytes.NewReader(bad))
+		if err != nil {
+			continue
+		}
+		// Extremely unlikely, but if it parsed, it must equal the original.
+		if !reflect.DeepEqual(got.Ticks, m.Ticks) {
+			t.Fatalf("byte %d: corruption accepted silently", pos)
+		}
+	}
+
+	// Truncation at every prefix length must error.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCodecRejectsBadMagicAndVersion(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE\x01\x00\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := Read(bytes.NewReader([]byte("MMTR\x63\x00\x00"))); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+// Property: arbitrary traces survive the codec byte-for-byte.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, ticksRaw, cellsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cells := int(cellsRaw)%1000 + 1
+		ticks := int(ticksRaw) % 20
+		m := NewMemory(cells)
+		for i := 0; i < ticks; i++ {
+			n := rng.Intn(50)
+			u := make([]uint32, n)
+			for j := range u {
+				u[j] = uint32(rng.Intn(cells))
+			}
+			m.Append(u)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumCells() != cells || got.NumTicks() != ticks {
+			return false
+		}
+		for i := range m.Ticks {
+			if len(got.Ticks[i]) != len(m.Ticks[i]) {
+				return false
+			}
+			for j := range m.Ticks[i] {
+				if got.Ticks[i][j] != m.Ticks[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkZipfianAppendTick64k(b *testing.B) {
+	cfg := DefaultZipfianConfig()
+	cfg.Ticks = 1 << 20
+	z, err := NewZipfian(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]uint32, 0, cfg.UpdatesPerTick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = z.AppendTick(i%cfg.Ticks, buf[:0])
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	cfg := smallZipfCfg()
+	cfg.Ticks = 100
+	z, _ := NewZipfian(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Update is one cell write: the 4-byte value stored into a table cell. This
+// is the logical unit the engine logs — one record per tick holds the tick's
+// whole update batch.
+type Update struct {
+	Cell  uint32
+	Value uint32
+}
+
+// EncodeUpdates appends the batch encoding to buf and returns it. Cells are
+// delta-encoded (signed varint from the previous cell) because game updates
+// cluster by unit; values are fixed 4-byte little-endian.
+func EncodeUpdates(buf []byte, updates []Update) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(updates)))
+	prev := int64(0)
+	var v [4]byte
+	for _, u := range updates {
+		buf = binary.AppendVarint(buf, int64(u.Cell)-prev)
+		prev = int64(u.Cell)
+		binary.LittleEndian.PutUint32(v[:], u.Value)
+		buf = append(buf, v[:]...)
+	}
+	return buf
+}
+
+// DecodeUpdates parses a batch encoded by EncodeUpdates, appending to dst.
+func DecodeUpdates(dst []Update, payload []byte) ([]Update, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return dst, fmt.Errorf("wal: bad update count")
+	}
+	payload = payload[n:]
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		d, n := binary.Varint(payload)
+		if n <= 0 {
+			return dst, fmt.Errorf("wal: bad cell delta at update %d", i)
+		}
+		payload = payload[n:]
+		cell := prev + d
+		if cell < 0 || cell > 1<<32-1 {
+			return dst, fmt.Errorf("wal: cell %d out of range at update %d", cell, i)
+		}
+		prev = cell
+		if len(payload) < 4 {
+			return dst, fmt.Errorf("wal: truncated value at update %d", i)
+		}
+		dst = append(dst, Update{
+			Cell:  uint32(cell),
+			Value: binary.LittleEndian.Uint32(payload),
+		})
+		payload = payload[4:]
+	}
+	if len(payload) != 0 {
+		return dst, fmt.Errorf("wal: %d trailing bytes after batch", len(payload))
+	}
+	return dst, nil
+}

@@ -1,0 +1,121 @@
+package repro
+
+import (
+	"testing"
+)
+
+// smallSimConfig scales the default down for fast facade tests.
+func smallSimConfig() SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.Table.Rows = 50_000
+	cfg.Params.MemBandwidth /= 10
+	cfg.Params.DiskBandwidth /= 10
+	return cfg
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	cfg := smallSimConfig()
+	src, err := NewZipfianTrace(ZipfianTraceConfig{
+		Table:          cfg.Table,
+		UpdatesPerTick: 500,
+		Ticks:          60,
+		Skew:           0.8,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(CopyOnUpdate, cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != CopyOnUpdate || res.Ticks != 60 {
+		t.Errorf("unexpected result header: %+v", res.Method)
+	}
+	if res.RecoveryTime <= 0 {
+		t.Error("no recovery estimate")
+	}
+}
+
+func TestFacadeSimulateAll(t *testing.T) {
+	cfg := smallSimConfig()
+	src, err := NewZipfianTrace(ZipfianTraceConfig{
+		Table: cfg.Table, UpdatesPerTick: 200, Ticks: 40, Skew: 0.5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := SimulateAll(Methods(), cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("%d results, want 6", len(results))
+	}
+}
+
+func TestFacadeDefaults(t *testing.T) {
+	if DefaultParams().TickFreq != 30 {
+		t.Error("default params lost Table 3 values")
+	}
+	if DefaultTable().NumCells() != 10_000_000 {
+		t.Error("default table lost Table 4 geometry")
+	}
+	if DefaultZipfianTraceConfig().UpdatesPerTick != 64_000 {
+		t.Error("default trace config lost Table 4 values")
+	}
+	if DefaultGameConfig().Units != 400_128 {
+		t.Error("default game config lost Table 5 values")
+	}
+	if len(Methods()) != 6 {
+		t.Error("Methods() incomplete")
+	}
+}
+
+func TestFacadeEngineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tab := Table{Rows: 128, Cols: 8, CellSize: 4, ObjSize: 512}
+	e, err := OpenEngine(EngineOptions{
+		Table: tab, Dir: dir, Mode: ModeCopyOnUpdate, SyncEveryTick: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 30; tick++ {
+		batch := []Update{{Cell: uint32(tick), Value: uint32(tick * 10)}}
+		if err := e.ApplyTick(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := OpenEngine(EngineOptions{Table: tab, Dir: dir, Mode: ModeCopyOnUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for tick := 0; tick < 30; tick++ {
+		if got := e2.Store().Cell(uint32(tick)); got != uint32(tick*10) {
+			t.Fatalf("cell %d = %d after recovery, want %d", tick, got, tick*10)
+		}
+	}
+	if e2.NextTick() != 30 {
+		t.Errorf("NextTick = %d, want 30", e2.NextTick())
+	}
+}
+
+func TestFacadeGameTrace(t *testing.T) {
+	cfg := DefaultGameConfig()
+	cfg.Units = 2000
+	src, stats, err := GenerateGameTrace(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumTicks() != 20 || stats.Ticks != 20 {
+		t.Errorf("trace/stat shape: %d/%d", src.NumTicks(), stats.Ticks)
+	}
+	if stats.Units != 2000 || stats.Attrs != 13 {
+		t.Errorf("stats: %+v", stats)
+	}
+}
