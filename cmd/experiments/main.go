@@ -8,8 +8,12 @@
 //
 // Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
 // fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
-// logging, ksafety, multiserver, all. Output is printed as aligned text
-// tables; -out additionally writes CSV files per figure.
+// logging, ksafety, multiserver, sharding, all. Output is printed as aligned
+// text tables; -out additionally writes CSV files per figure.
+//
+// -shards N runs the fig6 validation engine sharded (N apply workers and
+// checkpoint flushers); the sharding experiment sweeps shard counts
+// regardless.
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 		gnuplot   = flag.Bool("gnuplot", false, "also write gnuplot scripts next to the CSVs")
 		seed      = flag.Int64("seed", 1, "trace seed")
 		diskBench = flag.Bool("disk-bench", false, "measure real disk bandwidth for table3 (writes 256 MB)")
+		shards    = flag.Int("shards", 0, "engine shards for fig6 validation (0 = paper-faithful single shard)")
 	)
 	flag.Parse()
 
@@ -53,7 +58,7 @@ func main() {
 	all := wanted["all"]
 	want := func(name string) bool { return all || wanted[name] }
 
-	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot}
+	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot, shards: *shards}
 
 	if want("table1") || want("table2") {
 		r.tables12()
@@ -94,6 +99,9 @@ func main() {
 	if want("multiserver") {
 		r.multiserver()
 	}
+	if want("sharding") {
+		r.sharding()
+	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
@@ -109,6 +117,7 @@ type runner struct {
 	seed    int64
 	outDir  string
 	gnuplot bool
+	shards  int
 	ran     int
 }
 
@@ -233,7 +242,7 @@ func (r *runner) fig5() {
 
 func (r *runner) fig6() {
 	r.timed("fig6", func() {
-		vr, err := experiments.RunValidation(r.scale, experiments.ValidationOptions{Seed: r.seed})
+		vr, err := experiments.RunValidation(r.scale, experiments.ValidationOptions{Seed: r.seed, Shards: r.shards})
 		if err != nil {
 			fatalf("fig6: %v", err)
 		}
@@ -286,6 +295,18 @@ func (r *runner) multiserver() {
 		r.emit("extension-multiserver-recovery", &ms.Recovery)
 		r.emit("extension-multiserver-overhead", &ms.TickOverhead)
 		r.emit("extension-multiserver-imbalance", &ms.Imbalance)
+	})
+}
+
+func (r *runner) sharding() {
+	r.timed("sharding", func() {
+		sr, err := experiments.RunShardScaling(r.scale, r.seed, []int{1, 2, 4, 8})
+		if err != nil {
+			fatalf("sharding: %v", err)
+		}
+		r.emitTable("Sharded engine: apply throughput and flush wall time vs shard count", sr.Table())
+		r.emit("sharding-apply-throughput", &sr.Apply)
+		r.emit("sharding-flush-time", &sr.Flush)
 	})
 }
 

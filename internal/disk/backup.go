@@ -138,7 +138,9 @@ func (b *Backup) ReadHeader() (Header, error) {
 
 // WriteRun writes a contiguous run of object slots starting at startObj.
 // data must be a whole number of objects. Runs are how the sorted-write
-// optimization coalesces adjacent dirty sectors.
+// optimization coalesces adjacent dirty sectors. Concurrent WriteRun (and
+// WriteRunVec) calls on disjoint runs are safe — the engine's per-shard
+// checkpoint flushers write disjoint regions of one backup in parallel.
 func (b *Backup) WriteRun(startObj int, data []byte) error {
 	if len(data)%b.objSize != 0 {
 		return fmt.Errorf("disk: run of %d bytes is not whole objects of %d", len(data), b.objSize)
@@ -148,6 +150,26 @@ func (b *Backup) WriteRun(startObj int, data []byte) error {
 		return fmt.Errorf("disk: run [%d,%d) out of %d objects", startObj, startObj+n, b.objects)
 	}
 	_, err := b.dev.WriteAt(data, b.offset(startObj))
+	return err
+}
+
+// WriteRunVec writes one contiguous run of object slots starting at
+// startObj whose bytes are scattered across several memory buffers, using
+// the device's vectored fast path when it has one. The buffers together
+// must hold a whole number of objects.
+func (b *Backup) WriteRunVec(startObj int, bufs [][]byte) error {
+	total := 0
+	for _, p := range bufs {
+		total += len(p)
+	}
+	if total%b.objSize != 0 {
+		return fmt.Errorf("disk: vectored run of %d bytes is not whole objects of %d", total, b.objSize)
+	}
+	n := total / b.objSize
+	if startObj < 0 || startObj+n > b.objects {
+		return fmt.Errorf("disk: run [%d,%d) out of %d objects", startObj, startObj+n, b.objects)
+	}
+	_, err := WriteVAt(b.dev, bufs, b.offset(startObj))
 	return err
 }
 

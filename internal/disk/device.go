@@ -13,13 +13,49 @@ import (
 	"time"
 )
 
-// Device is positional stable storage.
+// Device is positional stable storage. Implementations must allow
+// concurrent ReadAt/WriteAt calls on disjoint regions — the engine's
+// parallel checkpoint flushers write disjoint runs of one device at once.
 type Device interface {
 	ReadAt(p []byte, off int64) (int, error)
 	WriteAt(p []byte, off int64) (int, error)
 	// Sync flushes buffered writes to the underlying medium.
 	Sync() error
 	Close() error
+}
+
+// VectorWriter is an optional Device fast path: write several memory
+// buffers to one contiguous device region in a single operation (pwritev
+// on Linux files). Like WriteAt, concurrent calls on disjoint regions must
+// be safe.
+type VectorWriter interface {
+	WriteVAt(bufs [][]byte, off int64) (int, error)
+}
+
+// WriteVAt writes bufs back-to-back starting at off, using the device's
+// vectored fast path when it has one and falling back to sequential
+// WriteAt calls otherwise.
+func WriteVAt(dev Device, bufs [][]byte, off int64) (int, error) {
+	if vw, ok := dev.(VectorWriter); ok {
+		return vw.WriteVAt(bufs, off)
+	}
+	return writeSeq(dev, bufs, off)
+}
+
+// writeSeq is the portable vectored-write fallback.
+func writeSeq(dev Device, bufs [][]byte, off int64) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		n, err := dev.WriteAt(b, off+int64(total))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // File adapts an *os.File to Device. It is the production device.
@@ -87,6 +123,31 @@ func (d *Mem) WriteAt(p []byte, off int64) (int, error) {
 	}
 	copy(d.buf[off:], p)
 	return len(p), nil
+}
+
+// WriteVAt implements VectorWriter: one lock acquisition and at most one
+// grow for the whole batch.
+func (d *Mem) WriteVAt(bufs [][]byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("disk: negative offset %d", off)
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if end := off + int64(total); end > int64(len(d.buf)) {
+		grown := make([]byte, end)
+		copy(grown, d.buf)
+		d.buf = grown
+	}
+	n := 0
+	for _, b := range bufs {
+		copy(d.buf[off+int64(n):], b)
+		n += len(b)
+	}
+	return n, nil
 }
 
 // Sync implements Device.
@@ -163,6 +224,18 @@ func (t *Throttle) ReadAt(p []byte, off int64) (int, error) {
 func (t *Throttle) WriteAt(p []byte, off int64) (int, error) {
 	t.wait(len(p))
 	return t.dev.WriteAt(p, off)
+}
+
+// WriteVAt implements VectorWriter: the whole batch is charged to the
+// token bucket as one operation, then forwarded to the inner device's fast
+// path.
+func (t *Throttle) WriteVAt(bufs [][]byte, off int64) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	t.wait(total)
+	return WriteVAt(t.dev, bufs, off)
 }
 
 // Sync implements Device.

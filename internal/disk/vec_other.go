@@ -1,0 +1,9 @@
+//go:build !linux
+
+package disk
+
+// WriteVAt implements VectorWriter for file devices on platforms without
+// pwritev: sequential positional writes.
+func (d *File) WriteVAt(bufs [][]byte, off int64) (int, error) {
+	return writeSeq(d, bufs, off)
+}

@@ -16,12 +16,16 @@ import (
 // writes. Because the flush reads only the eager side copies, the writer
 // never touches the live slab: no stripe locks, no cursor — exactly the
 // paper's observation that Write-Copies-To-Stable-Storage "may be
-// implemented without thread-safety concerns".
+// implemented without thread-safety concerns". Sharding parallelizes both
+// halves: the eager copy fans out across the shards' disjoint word ranges
+// at the tick boundary, and the flush runs one zero-copy flusher per shard
+// writing dirty runs straight out of the immutable side buffer.
 type atomicCP struct {
 	store   *Store
 	backups [2]*disk.Backup
+	plan    shardPlan
 
-	dirty    [2][]uint64 // mutator-owned
+	dirty    [2][]uint64 // apply-path-owned
 	writeSet []uint64    // handed read-only to the writer per job
 	side     []byte      // eager copies, written before the job is sent
 
@@ -36,12 +40,13 @@ type atomicCP struct {
 	werr writerErr
 }
 
-func newAtomicCopy(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int) *atomicCP {
+func newAtomicCopy(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int, plan shardPlan) *atomicCP {
 	n := store.NumObjects()
 	words := (n + 63) / 64
 	c := &atomicCP{
 		store:    store,
 		backups:  backups,
+		plan:     plan,
 		writeSet: make([]uint64, words),
 		side:     make([]byte, n*store.ObjSize()),
 		epoch:    startEpoch,
@@ -67,17 +72,13 @@ func (c *atomicCP) onUpdate(obj int32) {
 	c.dirty[1][w] |= m
 }
 
-func (c *atomicCP) endTick(tick uint64) time.Duration {
-	if c.inFlight.Load() || c.werr.get() != nil {
-		return 0
-	}
-	begin := time.Now()
-	// The eager copy: every dirty object's bytes move to the side buffer
-	// during the natural quiescence at the end of the tick.
-	src := c.dirty[c.cur]
+// copyRange snapshots and clears one shard's dirty words, eagerly copying
+// every dirty object's bytes to the side buffer.
+func (c *atomicCP) copyRange(src []uint64, loWord, hiWord int) {
 	sz := c.store.ObjSize()
 	slab := c.store.Slab()
-	for wi, word := range src {
+	for wi := loWord; wi < hiWord; wi++ {
+		word := src[wi]
 		c.writeSet[wi] = word
 		src[wi] = 0
 		for word != 0 {
@@ -86,6 +87,31 @@ func (c *atomicCP) endTick(tick uint64) time.Duration {
 			copy(c.side[obj*sz:(obj+1)*sz], slab[obj*sz:(obj+1)*sz])
 			word &= word - 1
 		}
+	}
+}
+
+func (c *atomicCP) endTick(tick uint64) time.Duration {
+	if c.inFlight.Load() || c.werr.get() != nil {
+		return 0
+	}
+	begin := time.Now()
+	// The eager copy: every dirty object's bytes move to the side buffer
+	// during the natural quiescence at the end of the tick — in parallel
+	// across the shards' disjoint word ranges.
+	src := c.dirty[c.cur]
+	if c.plan.count() == 1 {
+		c.copyRange(src, 0, len(src))
+	} else {
+		var wg sync.WaitGroup
+		for s := 0; s < c.plan.count(); s++ {
+			lo, hi := c.plan.objRange(s)
+			wg.Add(1)
+			go func(loWord, hiWord int) {
+				defer wg.Done()
+				c.copyRange(src, loWord, hiWord)
+			}(lo>>6, (hi+63)/64)
+		}
+		wg.Wait()
 	}
 	pause := time.Since(begin)
 	c.st.recordPause(pause)
@@ -113,54 +139,19 @@ func (c *atomicCP) writer() {
 	}
 }
 
-// flush writes the eager copies to the job's backup in offset order.
+// flush coordinates the commit protocol and fans the data phase out to one
+// flusher per shard writing the eager copies in offset order.
 func (c *atomicCP) flush(job couJob) (CheckpointInfo, error) {
 	b := c.backups[job.backup]
 	hdr := disk.Header{Epoch: job.epoch, AsOfTick: job.tick}
 	if err := b.WriteHeader(hdr); err != nil {
 		return CheckpointInfo{}, err
 	}
-	sz := c.store.ObjSize()
-	buf := make([]byte, 0, ioChunk)
-	runStart := -1
-	objects := 0
-	var bytes int64
-	emit := func() error {
-		if runStart < 0 || len(buf) == 0 {
-			return nil
-		}
-		if err := b.WriteRun(runStart, buf); err != nil {
-			return err
-		}
-		bytes += int64(len(buf))
-		buf = buf[:0]
-		runStart = -1
-		return nil
-	}
-	n := c.store.NumObjects()
-	for obj := 0; obj < n; obj++ {
-		w, m := obj>>6, uint64(1)<<(uint(obj)&63)
-		if c.writeSet[w]&m == 0 {
-			if err := emit(); err != nil {
-				return CheckpointInfo{}, err
-			}
-			if c.writeSet[w] == 0 {
-				obj |= 63
-			}
-			continue
-		}
-		if runStart < 0 {
-			runStart = obj
-		}
-		buf = append(buf, c.side[obj*sz:(obj+1)*sz]...)
-		objects++
-		if len(buf) >= ioChunk {
-			if err := emit(); err != nil {
-				return CheckpointInfo{}, err
-			}
-		}
-	}
-	if err := emit(); err != nil {
+	objects, bytes, err := fanOutFlush(c.plan.count(), func(s int) (int, int64, error) {
+		lo, hi := c.plan.objRange(s)
+		return c.flushShard(b, lo, hi)
+	})
+	if err != nil {
 		return CheckpointInfo{}, err
 	}
 	if err := b.Sync(); err != nil {
@@ -178,6 +169,74 @@ func (c *atomicCP) flush(job couJob) (CheckpointInfo, error) {
 		Objects:  objects,
 		Bytes:    bytes,
 	}, nil
+}
+
+// flushShard coalesces contiguous dirty runs from the write-set words and
+// writes each run directly out of the side buffer — zero staging copies,
+// since the side buffer is immutable while the job is in flight. Long runs
+// go out as one vectored write of ioChunk slices.
+func (c *atomicCP) flushShard(b *disk.Backup, lo, hi int) (int, int64, error) {
+	sz := c.store.ObjSize()
+	objects := 0
+	var bytes int64
+	runStart, runEnd := -1, -1 // current run [runStart, runEnd)
+
+	emit := func() error {
+		if runStart < 0 {
+			return nil
+		}
+		region := c.side[runStart*sz : runEnd*sz]
+		if err := b.WriteRunVec(runStart, chunkSlices(region)); err != nil {
+			return err
+		}
+		objects += runEnd - runStart
+		bytes += int64(len(region))
+		runStart, runEnd = -1, -1
+		return nil
+	}
+
+	loWord, hiWord := lo>>6, (hi+63)/64
+	for wi := loWord; wi < hiWord; wi++ {
+		w := c.writeSet[wi]
+		if w == 0 {
+			if err := emit(); err != nil {
+				return 0, 0, err
+			}
+			continue
+		}
+		base := wi << 6
+		for bit := 0; bit < 64; {
+			rest := w >> uint(bit)
+			if rest == 0 {
+				// Trailing gap: end the pending run so it cannot merge
+				// with the next word's first run across the gap.
+				if err := emit(); err != nil {
+					return 0, 0, err
+				}
+				break
+			}
+			if skip := bits.TrailingZeros64(rest); skip > 0 {
+				if err := emit(); err != nil {
+					return 0, 0, err
+				}
+				bit += skip
+				continue
+			}
+			run := bits.TrailingZeros64(^rest)
+			if base+bit+run > hi {
+				run = hi - (base + bit)
+			}
+			if runStart < 0 {
+				runStart = base + bit
+			}
+			runEnd = base + bit + run
+			bit += run
+		}
+	}
+	if err := emit(); err != nil {
+		return 0, 0, err
+	}
+	return objects, bytes, nil
 }
 
 func (c *atomicCP) completed() <-chan CheckpointInfo { return c.done }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,7 +64,7 @@ type CheckpointInfo struct {
 }
 
 // CPStats aggregates checkpointer activity. Fields written by the writer
-// goroutine use atomics.
+// goroutines use atomics.
 type CPStats struct {
 	Checkpoints  atomic.Int64
 	BytesWritten atomic.Int64
@@ -83,8 +84,11 @@ func (s *CPStats) recordPause(d time.Duration) {
 }
 
 // checkpointer is the engine-side counterpart of the simulator's algorithm
-// interface. onUpdate runs on the mutator goroutine before each object
-// write; endTick runs on the mutator goroutine at tick boundaries.
+// interface. onUpdate runs on the apply path before each object write — on
+// the mutator goroutine, or on the shard's apply worker under
+// ApplyTickParallel (never two goroutines for the same shard). endTick runs
+// on the coordinating goroutine at tick boundaries, after all apply workers
+// have joined.
 type checkpointer interface {
 	onUpdate(obj int32)
 	// endTick may begin a checkpoint; it returns the synchronous pause.
@@ -131,8 +135,70 @@ func (w *writerErr) get() error {
 	return nil
 }
 
-// ioChunk is the writer's staging buffer size.
+// ioChunk is the upper bound on a flusher's staging buffer.
 const ioChunk = 1 << 20
+
+// flushChunk sizes a shard flusher's staging buffer. The staging may run at
+// most one chunk ahead of actual device I/O — that lockstep is what keeps
+// the pre-image window (cursor < obj) open for the whole flush rather than
+// the few microseconds an unbounded in-memory staging pass takes. Target
+// ≥16 device writes per shard image so the window tracks real write
+// progress even at test scale, capped at ioChunk for production states.
+func flushChunk(plan shardPlan, objSize int) int {
+	c := plan.perShard() * objSize / 16
+	if c > ioChunk {
+		c = ioChunk
+	}
+	c -= c % objSize
+	if c < objSize {
+		c = objSize
+	}
+	return c
+}
+
+// chunkSlices splits one contiguous memory region into ioChunk-sized
+// slices, the batch a flusher hands to a single vectored run write.
+func chunkSlices(region []byte) [][]byte {
+	bufs := make([][]byte, 0, (len(region)+ioChunk-1)/ioChunk)
+	for off := 0; off < len(region); off += ioChunk {
+		end := off + ioChunk
+		if end > len(region) {
+			end = len(region)
+		}
+		bufs = append(bufs, region[off:end])
+	}
+	return bufs
+}
+
+// fanOutFlush runs one flushShard call per shard, concurrently when there is
+// more than one shard, and combines their results. Shards write disjoint
+// WriteRun regions of the same backup, which the disk layer guarantees is
+// safe; the caller remains the sole writer of the image header.
+func fanOutFlush(n int, flushShard func(s int) (int, int64, error)) (objects int, bytes int64, err error) {
+	if n == 1 {
+		return flushShard(0)
+	}
+	objs := make([]int, n)
+	byts := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			objs[i], byts[i], errs[i] = flushShard(i)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return 0, 0, errs[i]
+		}
+		objects += objs[i]
+		bytes += byts[i]
+	}
+	return objects, bytes, nil
+}
 
 // naiveJob asks the writer to flush the shadow buffer.
 type naiveJob struct {
@@ -142,10 +208,13 @@ type naiveJob struct {
 	pause time.Duration
 }
 
-// naiveCP implements ModeNaiveSnapshot.
+// naiveCP implements ModeNaiveSnapshot. With more than one shard the eager
+// full-state copy and the flush both fan out across the shards' disjoint
+// slab regions.
 type naiveCP struct {
 	store    *Store
 	backups  [2]*disk.Backup
+	plan     shardPlan
 	shadow   []byte
 	epoch    uint64
 	cur      int // backup the writer targets next (writer-owned after start)
@@ -157,10 +226,11 @@ type naiveCP struct {
 	werr     writerErr
 }
 
-func newNaive(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int) *naiveCP {
+func newNaive(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int, plan shardPlan) *naiveCP {
 	c := &naiveCP{
 		store:   store,
 		backups: backups,
+		plan:    plan,
 		shadow:  make([]byte, len(store.Slab())),
 		epoch:   startEpoch,
 		cur:     firstBackup,
@@ -179,7 +249,22 @@ func (c *naiveCP) endTick(tick uint64) time.Duration {
 		return 0
 	}
 	begin := time.Now()
-	copy(c.shadow, c.store.Slab()) // the quiescent eager copy: the pause
+	// The quiescent eager copy: the pause. Parallel across shards.
+	if c.plan.count() == 1 {
+		copy(c.shadow, c.store.Slab())
+	} else {
+		var wg sync.WaitGroup
+		sz := c.store.ObjSize()
+		for s := 0; s < c.plan.count(); s++ {
+			lo, hi := c.plan.objRange(s)
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				copy(c.shadow[lo*sz:hi*sz], c.store.SlabRange(lo, hi))
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
 	pause := time.Since(begin)
 	c.st.recordPause(pause)
 	c.epoch++
@@ -218,16 +303,20 @@ func (c *naiveCP) flush(b *disk.Backup, job naiveJob) error {
 	if err := b.WriteHeader(hdr); err != nil { // invalidate image
 		return err
 	}
-	objSize := c.store.ObjSize()
-	perChunk := ioChunk / objSize
-	for start := 0; start < c.store.NumObjects(); start += perChunk {
-		end := start + perChunk
-		if end > c.store.NumObjects() {
-			end = c.store.NumObjects()
+	sz := c.store.ObjSize()
+	_, _, err := fanOutFlush(c.plan.count(), func(s int) (int, int64, error) {
+		// The shadow is immutable while the job is in flight, so each shard
+		// writes its region straight out of it: ioChunk slices batched into
+		// one vectored write per shard.
+		lo, hi := c.plan.objRange(s)
+		region := c.shadow[lo*sz : hi*sz]
+		if err := b.WriteRunVec(lo, chunkSlices(region)); err != nil {
+			return 0, 0, err
 		}
-		if err := b.WriteRun(start, c.shadow[start*objSize:end*objSize]); err != nil {
-			return err
-		}
+		return hi - lo, int64(len(region)), nil
+	})
+	if err != nil {
+		return err
 	}
 	if err := b.Sync(); err != nil {
 		return err
@@ -256,23 +345,42 @@ type couJob struct {
 	pause  time.Duration
 }
 
-// couCP implements ModeCopyOnUpdate.
+// couStripes is the per-shard stripe lock count (power of two).
+const couStripes = 256
+
+// couShard is the per-shard flush state of couCP. The bitmaps and side
+// buffer stay global (shards own disjoint, word-aligned slices of them);
+// what each shard owns privately is its stripe locks, its flush cursor and
+// its persistent staging buffer.
+type couShard struct {
+	lo, hi int          // object range [lo, hi)
+	cursor atomic.Int64 // objects below cursor are staged (or not in the set)
+	locks  []sync.Mutex
+	stage  []byte // pooled across checkpoints; cap flushChunk
+}
+
+// couCP implements ModeCopyOnUpdate (and, with fullSet, ModeDribble).
 //
 // Concurrency protocol:
-//   - dirty bitmaps are touched only by the mutator goroutine (onUpdate sets,
-//     endTick snapshots and clears) — no synchronization needed.
-//   - writeSet is snapshotted by endTick before the job is sent (the channel
-//     send is the happens-before edge) and read-only while in flight.
-//   - handled bits are set by the mutator and read by the writer using
+//   - dirty bitmaps are touched only by the apply path (onUpdate sets bits
+//     in the updated object's shard words; endTick snapshots and clears
+//     after the apply workers join) — per-shard word ownership means no two
+//     goroutines ever touch the same word concurrently.
+//   - writeSet is published by endTick with atomic stores before the job is
+//     sent (the channel send is the happens-before edge) and read with
+//     atomic loads by onUpdate and the shard flushers while in flight.
+//   - handled bits are set by the apply path and read by the flushers using
 //     atomic word operations, under the object's stripe lock.
-//   - cursor publishes writer progress: every write-set object with index
-//     below cursor has been staged to the I/O buffer. onUpdate skips the
-//     pre-image copy for those.
-//   - side holds pre-images; slots are written by the mutator and read by
-//     the writer under the object's stripe lock.
+//   - each shard's cursor publishes its flusher's progress: every write-set
+//     object below it has been staged. onUpdate skips the pre-image copy
+//     for those. The flusher stages at most one chunk ahead of device I/O
+//     (see flushChunk), so the cursor tracks real write progress.
+//   - side holds pre-images; slots are written by the apply path and read
+//     by the flusher under the object's stripe lock.
 type couCP struct {
 	store   *Store
 	backups [2]*disk.Backup
+	plan    shardPlan
 	// fullSet makes every checkpoint write the whole state (Dribble mode);
 	// otherwise only the dirty set w.r.t. the target backup is written.
 	fullSet bool
@@ -281,12 +389,12 @@ type couCP struct {
 	writeSet []uint64
 	handled  []uint64
 	side     []byte
-	locks    []sync.Mutex
+	shards   []couShard
+	chunk    int
 
-	cursor   atomic.Int64
 	inFlight atomic.Bool
 	epoch    uint64
-	cur      int // backup to flush next (mutator-owned; passed in job)
+	cur      int // backup to flush next (coordinator-owned; passed in job)
 
 	jobs chan couJob
 	done chan CheckpointInfo
@@ -295,22 +403,31 @@ type couCP struct {
 	werr writerErr
 }
 
-const couStripes = 1024
-
-func newCOU(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int) *couCP {
+func newCOU(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int, plan shardPlan) *couCP {
 	n := store.NumObjects()
 	words := (n + 63) / 64
 	c := &couCP{
 		store:    store,
 		backups:  backups,
+		plan:     plan,
 		writeSet: make([]uint64, words),
 		handled:  make([]uint64, words),
-		side:     make([]byte, store.NumObjects()*store.ObjSize()),
-		locks:    make([]sync.Mutex, couStripes),
+		side:     make([]byte, n*store.ObjSize()),
+		chunk:    flushChunk(plan, store.ObjSize()),
 		epoch:    startEpoch,
 		cur:      firstBackup,
 		jobs:     make(chan couJob, 1),
 		done:     make(chan CheckpointInfo, 8),
+	}
+	c.shards = make([]couShard, plan.count())
+	for s := range c.shards {
+		lo, hi := plan.objRange(s)
+		c.shards[s] = couShard{
+			lo:    lo,
+			hi:    hi,
+			locks: make([]sync.Mutex, couStripes),
+			stage: make([]byte, 0, c.chunk),
+		}
 	}
 	for i := range c.dirty {
 		c.dirty[i] = make([]uint64, words)
@@ -330,11 +447,9 @@ func trimTail(words []uint64, n int) {
 	}
 }
 
-func (c *couCP) stripe(obj int32) *sync.Mutex { return &c.locks[int(obj)%couStripes] }
-
 func (c *couCP) onUpdate(obj int32) {
 	w, m := obj>>6, uint64(1)<<(uint(obj)&63)
-	// Mark dirty for both backups (mutator-owned bitmaps).
+	// Mark dirty for both backups (apply-path-owned bitmap words).
 	c.dirty[0][w] |= m
 	c.dirty[1][w] |= m
 	if !c.inFlight.Load() {
@@ -343,12 +458,13 @@ func (c *couCP) onUpdate(obj int32) {
 	if atomic.LoadUint64(&c.writeSet[w])&m == 0 {
 		return // not part of the in-flight image
 	}
-	if c.cursor.Load() > int64(obj) {
-		return // writer already staged this object
+	sh := &c.shards[c.plan.shardOf(obj)]
+	if sh.cursor.Load() > int64(obj) {
+		return // shard flusher already staged this object
 	}
-	mu := c.stripe(obj)
+	mu := &sh.locks[(int(obj)-sh.lo)&(couStripes-1)]
 	mu.Lock()
-	if atomic.LoadUint64(&c.handled[w])&m == 0 && c.cursor.Load() <= int64(obj) {
+	if atomic.LoadUint64(&c.handled[w])&m == 0 && sh.cursor.Load() <= int64(obj) {
 		// First update of a not-yet-flushed write-set object: save the
 		// checkpoint-consistent pre-image.
 		sz := c.store.ObjSize()
@@ -392,7 +508,12 @@ func (c *couCP) endTick(tick uint64) time.Duration {
 	if c.fullSet {
 		trimTail(c.writeSet, c.store.NumObjects())
 	}
-	c.cursor.Store(0)
+	// Publication order matters: rewind every shard cursor before raising
+	// inFlight, so no onUpdate can observe the new flush with a stale
+	// end-of-previous-flush cursor and skip a needed pre-image copy.
+	for s := range c.shards {
+		c.shards[s].cursor.Store(int64(c.shards[s].lo))
+	}
 	pause := time.Since(begin)
 	c.st.recordPause(pause)
 	c.epoch++
@@ -419,74 +540,21 @@ func (c *couCP) writer() {
 	}
 }
 
-// flush writes the in-flight write set to the job's backup in offset order
-// (the sorted-write optimization), staging contiguous dirty runs into an I/O
-// buffer. For each object it emits the mutator's pre-image copy if one was
-// taken, else the live slab bytes — under the object's stripe lock.
+// flush is the checkpoint coordinator: it performs the double-backup
+// header-invalidate → data → sync → header-commit protocol itself, fanning
+// the data phase out to one flusher per shard. The commit point is unchanged
+// from the single-writer engine — one incomplete header before any data,
+// one complete header after all shards' writes are synced.
 func (c *couCP) flush(job couJob) (CheckpointInfo, error) {
 	b := c.backups[job.backup]
 	hdr := disk.Header{Epoch: job.epoch, AsOfTick: job.tick}
 	if err := b.WriteHeader(hdr); err != nil {
 		return CheckpointInfo{}, err
 	}
-	sz := c.store.ObjSize()
-	buf := make([]byte, 0, ioChunk)
-	runStart := -1
-	objects := 0
-	var bytes int64
-
-	emit := func() error {
-		if runStart < 0 || len(buf) == 0 {
-			return nil
-		}
-		if err := b.WriteRun(runStart, buf); err != nil {
-			return err
-		}
-		bytes += int64(len(buf))
-		buf = buf[:0]
-		runStart = -1
-		return nil
-	}
-
-	n := c.store.NumObjects()
-	for obj := 0; obj < n; obj++ {
-		w, m := obj>>6, uint64(1)<<(uint(obj)&63)
-		if c.writeSet[w] == 0 {
-			// Skip whole empty words quickly.
-			if err := emit(); err != nil {
-				return CheckpointInfo{}, err
-			}
-			c.cursor.Store(int64(obj|63) + 1)
-			obj |= 63
-			continue
-		}
-		if c.writeSet[w]&m == 0 {
-			if err := emit(); err != nil {
-				return CheckpointInfo{}, err
-			}
-			c.cursor.Store(int64(obj) + 1)
-			continue
-		}
-		mu := c.stripe(int32(obj))
-		mu.Lock()
-		if runStart < 0 {
-			runStart = obj
-		}
-		if atomic.LoadUint64(&c.handled[w])&m != 0 {
-			buf = append(buf, c.side[obj*sz:(obj+1)*sz]...)
-		} else {
-			buf = append(buf, c.store.ObjectBytes(obj)...)
-		}
-		c.cursor.Store(int64(obj) + 1)
-		mu.Unlock()
-		objects++
-		if len(buf) >= ioChunk {
-			if err := emit(); err != nil {
-				return CheckpointInfo{}, err
-			}
-		}
-	}
-	if err := emit(); err != nil {
+	objects, bytes, err := fanOutFlush(len(c.shards), func(s int) (int, int64, error) {
+		return c.flushShard(&c.shards[s], b)
+	})
+	if err != nil {
 		return CheckpointInfo{}, err
 	}
 	if err := b.Sync(); err != nil {
@@ -504,6 +572,104 @@ func (c *couCP) flush(job couJob) (CheckpointInfo, error) {
 		Objects:  objects,
 		Bytes:    bytes,
 	}, nil
+}
+
+// flushShard writes one shard's slice of the write set in offset order (the
+// sorted-write optimization), iterating the bitmap word-by-word and
+// coalescing contiguous dirty runs straight from the bits. Each object is
+// staged under its stripe lock — the apply path's pre-image copy if one was
+// taken, else the live slab bytes — and the chunk-sized staging buffer is
+// written out as soon as it fills, so staging never runs more than one
+// chunk ahead of device I/O.
+func (c *couCP) flushShard(sh *couShard, b *disk.Backup) (int, int64, error) {
+	sz := c.store.ObjSize()
+	stage := sh.stage[:0]
+	defer func() { sh.stage = stage[:0] }() // keep the pooled buffer
+	runStart := -1
+	objects := 0
+	var bytes int64
+
+	emit := func() error {
+		if runStart < 0 || len(stage) == 0 {
+			return nil
+		}
+		if err := b.WriteRun(runStart, stage); err != nil {
+			return err
+		}
+		bytes += int64(len(stage))
+		runStart += len(stage) / sz
+		stage = stage[:0]
+		return nil
+	}
+
+	loWord, hiWord := sh.lo>>6, (sh.hi+63)/64
+	for wi := loWord; wi < hiWord; wi++ {
+		w := atomic.LoadUint64(&c.writeSet[wi])
+		base := wi << 6
+		if w == 0 {
+			if err := emit(); err != nil {
+				return 0, 0, err
+			}
+			runStart = -1
+			sh.cursor.Store(int64(base + 64))
+			continue
+		}
+		for bit := 0; bit < 64; {
+			rest := w >> uint(bit)
+			if rest == 0 {
+				// Trailing gap: the pending run (if any) ends inside this
+				// word, so it must not merge with the next word's first run.
+				if err := emit(); err != nil {
+					return 0, 0, err
+				}
+				runStart = -1
+				sh.cursor.Store(int64(base + 64))
+				break
+			}
+			if skip := bits.TrailingZeros64(rest); skip > 0 {
+				// Gap: the pending run (if any) ends here.
+				if err := emit(); err != nil {
+					return 0, 0, err
+				}
+				runStart = -1
+				bit += skip
+				sh.cursor.Store(int64(base + bit))
+				continue
+			}
+			// A run of consecutive dirty objects, possibly continuing into
+			// the next word.
+			run := bits.TrailingZeros64(^rest)
+			if base+bit+run > sh.hi {
+				run = sh.hi - (base + bit)
+			}
+			for k := 0; k < run; k++ {
+				obj := base + bit + k
+				if runStart < 0 {
+					runStart = obj
+				}
+				mu := &sh.locks[(obj-sh.lo)&(couStripes-1)]
+				mu.Lock()
+				if atomic.LoadUint64(&c.handled[obj>>6])&(uint64(1)<<(uint(obj)&63)) != 0 {
+					stage = append(stage, c.side[obj*sz:(obj+1)*sz]...)
+				} else {
+					stage = append(stage, c.store.ObjectBytes(obj)...)
+				}
+				sh.cursor.Store(int64(obj) + 1)
+				mu.Unlock()
+				objects++
+				if len(stage) >= c.chunk {
+					if err := emit(); err != nil {
+						return 0, 0, err
+					}
+				}
+			}
+			bit += run
+		}
+	}
+	if err := emit(); err != nil {
+		return 0, 0, err
+	}
+	return objects, bytes, nil
 }
 
 func (c *couCP) completed() <-chan CheckpointInfo { return c.done }

@@ -34,6 +34,15 @@ type Options struct {
 	// KeepTickStats retains per-tick timing series in Stats (validation
 	// harness); aggregates are always kept.
 	KeepTickStats bool
+	// Shards partitions the object space into contiguous ranges, each with
+	// its own dirty bitmaps, pre-image side buffer slice, stripe locks and
+	// checkpoint flusher. ApplyTickParallel fans tick updates out across
+	// one apply worker per shard, and checkpoints flush all shards
+	// concurrently. 0 uses GOMAXPROCS; the count is rounded down to a
+	// power of two and small states fold to fewer shards (Shards reports
+	// the effective count). 1 reproduces the paper's single-mutator,
+	// single-writer engine exactly.
+	Shards int
 	// DeviceFactory overrides how backup devices are opened (fault
 	// injection in tests). Nil uses regular files.
 	DeviceFactory func(path string) (disk.Device, error)
@@ -67,6 +76,8 @@ type Engine struct {
 	store *Store
 	cp    checkpointer
 	log   *wal.Log
+	plan  shardPlan
+	pool  *applyPool // nil when the plan has a single shard
 
 	tick      uint64
 	encBuf    []byte
@@ -94,7 +105,7 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{opts: opts, store: store}
+	e := &Engine{opts: opts, store: store, plan: makeShardPlan(store.NumObjects(), opts.Shards)}
 
 	var devs [2]disk.Device
 	if opts.InMemory {
@@ -173,21 +184,41 @@ func Open(opts Options) (*Engine, error) {
 	case ModeNone:
 		e.cp = newNop()
 	case ModeNaiveSnapshot:
-		e.cp = newNaive(store, backups, startEpoch, firstBackup)
+		e.cp = newNaive(store, backups, startEpoch, firstBackup, e.plan)
 	case ModeCopyOnUpdate:
-		c := newCOU(store, backups, startEpoch, firstBackup)
+		c := newCOU(store, backups, startEpoch, firstBackup, e.plan)
 		c.markAllDirty() // disk images' dirty sets are unknown after restart
 		e.cp = c
 	case ModeAtomicCopy:
-		c := newAtomicCopy(store, backups, startEpoch, firstBackup)
+		c := newAtomicCopy(store, backups, startEpoch, firstBackup, e.plan)
 		c.markAllDirty()
 		e.cp = c
 	case ModeDribble:
-		c := newCOU(store, backups, startEpoch, firstBackup)
+		c := newCOU(store, backups, startEpoch, firstBackup, e.plan)
 		c.fullSet = true
 		e.cp = c
 	}
+	if e.plan.count() > 1 {
+		e.pool = newApplyPool(e.plan.count(), e.applyShard)
+	}
 	return e, nil
+}
+
+// Shards returns the effective shard count of the engine's partition.
+func (e *Engine) Shards() int { return e.plan.count() }
+
+// applyShard is one worker's share of a parallel tick: apply every update
+// whose object falls in shard s's range, in batch order.
+func (e *Engine) applyShard(s int, batch []wal.Update) {
+	lo, hi := e.plan.objRange(s)
+	for _, u := range batch {
+		obj := e.store.ObjectOf(u.Cell)
+		if int(obj) < lo || int(obj) >= hi {
+			continue
+		}
+		e.cp.onUpdate(obj)
+		e.store.SetCell(u.Cell, u.Value)
+	}
 }
 
 // Recovery returns the outcome of the recovery performed by Open.
@@ -202,11 +233,24 @@ func (e *Engine) NextTick() uint64 { return e.tick }
 // Mode returns the engine's recovery method.
 func (e *Engine) Mode() Mode { return e.opts.Mode }
 
-// ApplyTick logs and applies one tick's update batch, then runs the
-// end-of-tick checkpoint management. It is the discrete-event simulation
-// loop's integration point: call it exactly once per game tick, from one
-// goroutine.
+// ApplyTick logs and applies one tick's update batch on the calling
+// goroutine, then runs the end-of-tick checkpoint management. It is the
+// discrete-event simulation loop's integration point: call it exactly once
+// per game tick, from one goroutine.
 func (e *Engine) ApplyTick(updates []wal.Update) error {
+	return e.applyTick(updates, false)
+}
+
+// ApplyTickParallel is ApplyTick with the update batch fanned out across
+// the engine's shard workers: each worker applies the updates whose objects
+// fall in its shard, so the apply phase uses every shard's core with zero
+// cross-shard contention. Call it like ApplyTick — once per game tick, from
+// one coordinating goroutine. With a single-shard plan it is ApplyTick.
+func (e *Engine) ApplyTickParallel(updates []wal.Update) error {
+	return e.applyTick(updates, e.pool != nil)
+}
+
+func (e *Engine) applyTick(updates []wal.Update, parallel bool) error {
 	if e.closed {
 		return errors.New("engine: closed")
 	}
@@ -229,9 +273,13 @@ func (e *Engine) ApplyTick(updates []wal.Update) error {
 	}
 
 	applyStart := time.Now()
-	for _, u := range updates {
-		e.cp.onUpdate(e.store.ObjectOf(u.Cell))
-		e.store.SetCell(u.Cell, u.Value)
+	if parallel {
+		e.pool.run(updates)
+	} else {
+		for _, u := range updates {
+			e.cp.onUpdate(e.store.ObjectOf(u.Cell))
+			e.store.SetCell(u.Cell, u.Value)
+		}
 	}
 	applyDur := time.Since(applyStart)
 
@@ -256,20 +304,63 @@ func (e *Engine) drainCompleted() {
 	for {
 		select {
 		case info := <-e.cp.completed():
-			e.stats.Checkpoints = append(e.stats.Checkpoints, info)
-			if e.log != nil {
-				// Records at or before info.AsOfTick are covered by the new
-				// image; keep one prior image's worth for safety.
-				if err := e.log.Rotate(e.tick + 1); err == nil {
-					if e.havePrev {
-						_ = e.log.Prune(e.prevAsOf + 1)
-					}
-				}
-				e.prevAsOf = info.AsOfTick
-				e.havePrev = true
-			}
+			e.recordCheckpoint(info)
 		default:
 			return
+		}
+	}
+}
+
+func (e *Engine) recordCheckpoint(info CheckpointInfo) {
+	e.stats.Checkpoints = append(e.stats.Checkpoints, info)
+	if e.log != nil {
+		// Records at or before info.AsOfTick are covered by the new
+		// image; keep one prior image's worth for safety.
+		if err := e.log.Rotate(e.tick + 1); err == nil {
+			if e.havePrev {
+				_ = e.log.Prune(e.prevAsOf + 1)
+			}
+		}
+		e.prevAsOf = info.AsOfTick
+		e.havePrev = true
+	}
+}
+
+// CheckpointNow begins a checkpoint of the current state if none is in
+// flight, then blocks until a checkpoint completes and returns its info.
+// The image is labeled as of the last applied tick, so at least one tick
+// must have been applied. It is the synchronous hook the benchmarks and the
+// shard-scaling harness use to measure full flush wall time.
+func (e *Engine) CheckpointNow() (CheckpointInfo, error) {
+	if e.closed {
+		return CheckpointInfo{}, errors.New("engine: closed")
+	}
+	if e.opts.Mode == ModeNone {
+		return CheckpointInfo{}, errors.New("engine: ModeNone cannot checkpoint")
+	}
+	if e.tick == 0 {
+		return CheckpointInfo{}, errors.New("engine: no ticks applied")
+	}
+	if err := e.cp.err(); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("engine: checkpoint writer failed: %w", err)
+	}
+	// Record any already-queued completion first, so the info returned
+	// below describes a checkpoint that finished during this call rather
+	// than one that finished before it.
+	e.drainCompleted()
+	e.cp.endTick(e.tick - 1) // no-op if a flush is already in flight
+	for {
+		select {
+		case info, ok := <-e.cp.completed():
+			if !ok {
+				return CheckpointInfo{}, errors.New("engine: checkpointer stopped")
+			}
+			e.recordCheckpoint(info)
+			return info, nil
+		case <-time.After(10 * time.Millisecond):
+			if err := e.cp.err(); err != nil {
+				return CheckpointInfo{}, fmt.Errorf("engine: checkpoint writer failed: %w", err)
+			}
 		}
 	}
 }
@@ -287,6 +378,9 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	if e.pool != nil {
+		e.pool.close()
+	}
 	cpErr := e.cp.close()
 	// Collect completions that landed during shutdown.
 	for info := range e.cp.completed() {

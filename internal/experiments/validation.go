@@ -54,6 +54,11 @@ type ValidationOptions struct {
 	// apples-to-apples.
 	Compress float64
 	Seed     int64
+	// Shards runs the real engine sharded (parallel apply workers and
+	// checkpoint flushers). 0 keeps the paper-faithful single-mutator,
+	// single-writer engine the simulator models; >1 measures how far the
+	// sharded engine departs from that prediction.
+	Shards int
 }
 
 func (o ValidationOptions) withDefaults(s Scale) ValidationOptions {
@@ -238,12 +243,17 @@ func runEngine(cfg checkpoint.Config, mode engine.Mode, updates int, opts Valida
 	if err != nil {
 		return nil, err
 	}
+	shards := opts.Shards
+	if shards == 0 {
+		shards = 1 // paper-faithful default: one mutator, one writer
+	}
 	eopts := engine.Options{
 		Table:           cfg.Table,
 		Dir:             dir,
 		Mode:            mode,
 		DiskBytesPerSec: cfg.Params.DiskBandwidth,
 		KeepTickStats:   true,
+		Shards:          shards,
 	}
 	runtime.GC()
 	e, err := engine.Open(eopts)
@@ -261,7 +271,7 @@ func runEngine(cfg checkpoint.Config, mode engine.Mode, updates int, opts Valida
 		for _, c := range cells {
 			batch = append(batch, wal.Update{Cell: c, Value: uint32(t)})
 		}
-		if err := e.ApplyTick(batch); err != nil {
+		if err := e.ApplyTickParallel(batch); err != nil {
 			e.Close()
 			return nil, err
 		}
