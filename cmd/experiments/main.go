@@ -8,12 +8,14 @@
 //
 // Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
 // fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
-// logging, ksafety, multiserver, sharding, all. Output is printed as aligned
-// text tables; -out additionally writes CSV files per figure.
+// logging, ksafety, multiserver, sharding, recoverytime, all. Output is
+// printed as aligned text tables; -out additionally writes CSV files per
+// figure.
 //
 // -shards N runs the fig6 validation engine sharded (N apply workers and
-// checkpoint flushers); the sharding experiment sweeps shard counts
-// regardless.
+// checkpoint flushers); the sharding and recoverytime experiments sweep
+// shard counts regardless. -recovery-log-ticks trims the recoverytime
+// log-length axis (CI smoke uses a single tiny value).
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "trace seed")
 		diskBench = flag.Bool("disk-bench", false, "measure real disk bandwidth for table3 (writes 256 MB)")
 		shards    = flag.Int("shards", 0, "engine shards for fig6 validation (0 = paper-faithful single shard)")
+		recLog    = flag.Int("recovery-log-ticks", 0, "single log length for recoverytime (0 = scale default sweep)")
+		recDisk   = flag.Float64("recovery-disk", 0, "recoverytime backup throttle in bytes/sec (0 = paper disk, <0 = unthrottled)")
 	)
 	flag.Parse()
 
@@ -58,7 +62,8 @@ func main() {
 	all := wanted["all"]
 	want := func(name string) bool { return all || wanted[name] }
 
-	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot, shards: *shards}
+	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot,
+		shards: *shards, recLog: *recLog, recDisk: *recDisk}
 
 	if want("table1") || want("table2") {
 		r.tables12()
@@ -102,6 +107,9 @@ func main() {
 	if want("sharding") {
 		r.sharding()
 	}
+	if want("recoverytime") {
+		r.recoverytime()
+	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
@@ -118,6 +126,8 @@ type runner struct {
 	outDir  string
 	gnuplot bool
 	shards  int
+	recLog  int
+	recDisk float64
 	ran     int
 }
 
@@ -307,6 +317,23 @@ func (r *runner) sharding() {
 		r.emitTable("Sharded engine: apply throughput and flush wall time vs shard count", sr.Table())
 		r.emit("sharding-apply-throughput", &sr.Apply)
 		r.emit("sharding-flush-time", &sr.Flush)
+	})
+}
+
+func (r *runner) recoverytime() {
+	r.timed("recoverytime", func() {
+		var logLens []int
+		if r.recLog > 0 {
+			logLens = []int{r.recLog}
+		}
+		rt, err := experiments.RunRecoveryTime(r.scale, r.seed, []int{1, 2, 4, 8}, logLens, r.recDisk)
+		if err != nil {
+			fatalf("recoverytime: %v", err)
+		}
+		r.emitTable("Recovery pipeline: ΔTrestore / ΔTreplay / pipeline total vs shard count", rt.Table())
+		r.emit("recoverytime-restore", &rt.Restore)
+		r.emit("recoverytime-replay", &rt.Replay)
+		r.emit("recoverytime-total", &rt.Total)
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 )
 
 // The double-backup organization (Salem and Garcia-Molina [29], Section 3.2):
@@ -119,11 +120,17 @@ func (b *Backup) WriteHeader(h Header) error {
 }
 
 // ReadHeader reads and validates the image header. It returns ErrNoImage for
-// a fresh or torn image.
+// a fresh or torn image (including a device shorter than one header — a file
+// that was never written). Real device read failures are propagated, so
+// recovery can distinguish "no image here" from "this backup is unreadable"
+// and degrade to the other backup.
 func (b *Backup) ReadHeader() (Header, error) {
 	buf := make([]byte, HeaderSize)
 	if _, err := b.dev.ReadAt(buf, 0); err != nil {
-		return Header{}, ErrNoImage
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Header{}, ErrNoImage
+		}
+		return Header{}, fmt.Errorf("disk: read backup header: %w", err)
 	}
 	h, err := decodeHeader(buf)
 	if err != nil {
@@ -170,6 +177,41 @@ func (b *Backup) WriteRunVec(startObj int, bufs [][]byte) error {
 		return fmt.Errorf("disk: run [%d,%d) out of %d objects", startObj, startObj+n, b.objects)
 	}
 	_, err := WriteVAt(b.dev, bufs, b.offset(startObj))
+	return err
+}
+
+// ReadRun reads a contiguous run of object slots starting at startObj into
+// data, which must hold a whole number of objects. Concurrent ReadRun (and
+// ReadRunVec) calls on disjoint runs are safe — the recovery pipeline's
+// per-shard restore workers read disjoint regions of one backup in parallel.
+func (b *Backup) ReadRun(startObj int, data []byte) error {
+	if len(data)%b.objSize != 0 {
+		return fmt.Errorf("disk: run of %d bytes is not whole objects of %d", len(data), b.objSize)
+	}
+	n := len(data) / b.objSize
+	if startObj < 0 || startObj+n > b.objects {
+		return fmt.Errorf("disk: run [%d,%d) out of %d objects", startObj, startObj+n, b.objects)
+	}
+	_, err := b.dev.ReadAt(data, b.offset(startObj))
+	return err
+}
+
+// ReadRunVec fills bufs from one contiguous run of object slots starting at
+// startObj, using the device's vectored fast path when it has one. The
+// buffers together must hold a whole number of objects.
+func (b *Backup) ReadRunVec(startObj int, bufs [][]byte) error {
+	total := 0
+	for _, p := range bufs {
+		total += len(p)
+	}
+	if total%b.objSize != 0 {
+		return fmt.Errorf("disk: vectored run of %d bytes is not whole objects of %d", total, b.objSize)
+	}
+	n := total / b.objSize
+	if startObj < 0 || startObj+n > b.objects {
+		return fmt.Errorf("disk: run [%d,%d) out of %d objects", startObj, startObj+n, b.objects)
+	}
+	_, err := ReadVAt(b.dev, bufs, b.offset(startObj))
 	return err
 }
 

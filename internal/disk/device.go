@@ -32,6 +32,15 @@ type VectorWriter interface {
 	WriteVAt(bufs [][]byte, off int64) (int, error)
 }
 
+// VectorReader is the read-side counterpart of VectorWriter: fill several
+// memory buffers from one contiguous device region in a single operation
+// (preadv on Linux files). Like ReadAt, concurrent calls on disjoint
+// regions must be safe — the recovery pipeline's per-shard restore workers
+// read disjoint runs of one backup in parallel.
+type VectorReader interface {
+	ReadVAt(bufs [][]byte, off int64) (int, error)
+}
+
 // WriteVAt writes bufs back-to-back starting at off, using the device's
 // vectored fast path when it has one and falling back to sequential
 // WriteAt calls otherwise.
@@ -40,6 +49,32 @@ func WriteVAt(dev Device, bufs [][]byte, off int64) (int, error) {
 		return vw.WriteVAt(bufs, off)
 	}
 	return writeSeq(dev, bufs, off)
+}
+
+// ReadVAt fills bufs back-to-back starting at off, using the device's
+// vectored fast path when it has one and falling back to sequential ReadAt
+// calls otherwise.
+func ReadVAt(dev Device, bufs [][]byte, off int64) (int, error) {
+	if vr, ok := dev.(VectorReader); ok {
+		return vr.ReadVAt(bufs, off)
+	}
+	return readSeq(dev, bufs, off)
+}
+
+// readSeq is the portable vectored-read fallback.
+func readSeq(dev Device, bufs [][]byte, off int64) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		n, err := dev.ReadAt(b, off+int64(total))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // writeSeq is the portable vectored-write fallback.
@@ -150,6 +185,26 @@ func (d *Mem) WriteVAt(bufs [][]byte, off int64) (int, error) {
 	return n, nil
 }
 
+// ReadVAt implements VectorReader: one lock acquisition for the whole batch.
+func (d *Mem) ReadVAt(bufs [][]byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("disk: negative offset %d", off)
+	}
+	n := 0
+	for _, b := range bufs {
+		for i := range b {
+			b[i] = 0
+		}
+		if at := off + int64(n); at < int64(len(d.buf)) {
+			copy(b, d.buf[at:])
+		}
+		n += len(b)
+	}
+	return n, nil
+}
+
 // Sync implements Device.
 func (d *Mem) Sync() error { return nil }
 
@@ -236,6 +291,17 @@ func (t *Throttle) WriteVAt(bufs [][]byte, off int64) (int, error) {
 	}
 	t.wait(total)
 	return WriteVAt(t.dev, bufs, off)
+}
+
+// ReadVAt implements VectorReader: the whole batch is charged to the token
+// bucket as one operation, then forwarded to the inner device's fast path.
+func (t *Throttle) ReadVAt(bufs [][]byte, off int64) (int, error) {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	t.wait(total)
+	return ReadVAt(t.dev, bufs, off)
 }
 
 // Sync implements Device.

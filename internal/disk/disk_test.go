@@ -2,6 +2,7 @@ package disk
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -269,5 +270,45 @@ func TestQuickBackupWrites(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestReadHeaderFreshFileIsNoImage(t *testing.T) {
+	// A never-written file device is shorter than one header: that is "no
+	// image", not a device failure.
+	f, err := OpenFile(filepath.Join(t.TempDir(), "fresh.img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := NewBackup(f, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ReadHeader(); err != ErrNoImage {
+		t.Errorf("fresh file header read = %v, want ErrNoImage", err)
+	}
+}
+
+func TestReadHeaderDeviceErrorPropagates(t *testing.T) {
+	// A real medium failure must not be mistaken for a fresh image.
+	mem := NewMem()
+	b, err := NewBackup(mem, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteHeader(Header{Epoch: 1, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewBackup(NewReadFault(mem), 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fb.ReadHeader()
+	if err == nil || err == ErrNoImage {
+		t.Errorf("faulted header read = %v, want a propagated device error", err)
+	}
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Errorf("faulted header read = %v, want wrapped ErrFaultInjected", err)
 	}
 }

@@ -72,3 +72,26 @@ func (f *Fault) Tripped() bool {
 	defer f.mu.Unlock()
 	return f.dead
 }
+
+// ReadFault wraps a Device and fails every read — the stand-in for a backup
+// whose medium went bad (unreadable sectors) while the machine kept running.
+// Writes pass through, so tests can build an image first and then declare it
+// unreadable.
+type ReadFault struct {
+	dev Device
+}
+
+// NewReadFault wraps dev with failing reads.
+func NewReadFault(dev Device) *ReadFault { return &ReadFault{dev: dev} }
+
+// ReadAt implements Device: every read fails.
+func (f *ReadFault) ReadAt(p []byte, off int64) (int, error) { return 0, ErrFaultInjected }
+
+// WriteAt implements Device.
+func (f *ReadFault) WriteAt(p []byte, off int64) (int, error) { return f.dev.WriteAt(p, off) }
+
+// Sync implements Device.
+func (f *ReadFault) Sync() error { return f.dev.Sync() }
+
+// Close implements Device.
+func (f *ReadFault) Close() error { return f.dev.Close() }

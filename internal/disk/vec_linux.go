@@ -74,8 +74,81 @@ func (d *File) writeSeqFrom(group [][]byte, off int64, skip int) (int, error) {
 // pwritev wraps the raw syscall. The offset is passed as (pos_l, pos_h);
 // on 64-bit kernels pos_h folds to zero and pos_l carries the full offset.
 func pwritev(fd uintptr, iovs []syscall.Iovec, off int64) (int, error) {
+	return vecSyscall(syscall.SYS_PWRITEV, fd, iovs, off)
+}
+
+// ReadVAt implements VectorReader for file devices with preadv(2): one
+// syscall fills every buffer back-to-back from off. Short reads (signal
+// interruption, EOF inside the batch) are finished with sequential ReadAt
+// calls, which also surface io.EOF for truly truncated devices — so callers
+// always see full-read-or-error semantics, like os.File.ReadAt.
+func (d *File) ReadVAt(bufs [][]byte, off int64) (int, error) {
+	read := 0
+	for start := 0; start < len(bufs); {
+		end := start + maxIov
+		if end > len(bufs) {
+			end = len(bufs)
+		}
+		group := bufs[start:end]
+		iovs := make([]syscall.Iovec, 0, len(group))
+		groupBytes := 0
+		for _, b := range group {
+			if len(b) == 0 {
+				continue
+			}
+			iovs = append(iovs, syscall.Iovec{Base: &b[0], Len: uint64(len(b))})
+			groupBytes += len(b)
+		}
+		if len(iovs) > 0 {
+			n, err := preadv(d.f.Fd(), iovs, off+int64(read))
+			read += n
+			if err != nil {
+				return read, err
+			}
+			if n < groupBytes {
+				// Rare short vectored read: finish the remainder with plain
+				// positional reads (which report EOF if the device really
+				// ends inside the batch).
+				m, err := d.readSeqFrom(group, off+int64(read), n)
+				read += m
+				if err != nil {
+					return read, err
+				}
+			}
+		}
+		start = end
+	}
+	return read, nil
+}
+
+// readSeqFrom fills group's bytes after skipping the first skip bytes.
+func (d *File) readSeqFrom(group [][]byte, off int64, skip int) (int, error) {
+	read := 0
+	for _, b := range group {
+		if skip >= len(b) {
+			skip -= len(b)
+			continue
+		}
+		b = b[skip:]
+		skip = 0
+		n, err := d.f.ReadAt(b, off+int64(read))
+		read += n
+		if err != nil {
+			return read, err
+		}
+	}
+	return read, nil
+}
+
+// preadv wraps the raw syscall, offset passed like pwritev's.
+func preadv(fd uintptr, iovs []syscall.Iovec, off int64) (int, error) {
+	return vecSyscall(syscall.SYS_PREADV, fd, iovs, off)
+}
+
+// vecSyscall issues one preadv/pwritev, retrying EINTR.
+func vecSyscall(trap uintptr, fd uintptr, iovs []syscall.Iovec, off int64) (int, error) {
 	for {
-		n, _, errno := syscall.Syscall6(syscall.SYS_PWRITEV, fd,
+		n, _, errno := syscall.Syscall6(trap, fd,
 			uintptr(unsafe.Pointer(&iovs[0])), uintptr(len(iovs)),
 			uintptr(off), 0, 0)
 		if errno == syscall.EINTR {

@@ -7,3 +7,9 @@ package disk
 func (d *File) WriteVAt(bufs [][]byte, off int64) (int, error) {
 	return writeSeq(d, bufs, off)
 }
+
+// ReadVAt implements VectorReader for file devices on platforms without
+// preadv: sequential positional reads.
+func (d *File) ReadVAt(bufs [][]byte, off int64) (int, error) {
+	return readSeq(d, bufs, off)
+}

@@ -29,21 +29,51 @@ const (
 type TickWriter struct {
 	e       *Engine
 	applied int64
+	// lo, hi restrict writes to the object range [lo, hi) when hi > 0: the
+	// sharded recovery pipeline re-executes one action per shard and each
+	// execution keeps only the writes its shard owns.
+	lo, hi int
 }
 
-// Set writes a 4-byte value into a cell.
+// Set writes a 4-byte value into a cell. During sharded replay, writes
+// outside the writer's shard are dropped (another shard's execution of the
+// same action applies them).
 func (w *TickWriter) Set(cell uint32, value uint32) {
-	w.e.cp.onUpdate(w.e.store.ObjectOf(cell))
+	obj := w.e.store.ObjectOf(cell)
+	if w.hi > 0 && (int(obj) < w.lo || int(obj) >= w.hi) {
+		return
+	}
+	w.e.cp.onUpdate(obj)
 	w.e.store.SetCell(cell, value)
 	w.applied++
 }
 
-// Cell reads a cell (actions often read-modify-write).
+// Cell reads a cell (actions often read-modify-write). During sharded
+// replay, read only cells this writer Owns — other shards' cells are being
+// replayed concurrently.
 func (w *TickWriter) Cell(cell uint32) uint32 { return w.e.store.Cell(cell) }
+
+// Owns reports whether this writer applies writes to cell: always true
+// during normal ticks and serial replay, and true exactly for the shard's
+// object range during sharded replay. Replay functions skip cells they do
+// not own — that skips redundant work and keeps sharded replay free of
+// cross-shard reads.
+func (w *TickWriter) Owns(cell uint32) bool {
+	if w.hi <= 0 {
+		return true
+	}
+	obj := int(w.e.store.ObjectOf(cell))
+	return obj >= w.lo && obj < w.hi
+}
 
 // ReplayActionFunc re-executes a logged action payload during recovery. It
 // must deterministically reproduce the writes the original ApplyActionTick
-// performed.
+// performed. Under RecoverFrom's sharded replay it runs once per shard
+// (concurrently, with writes filtered to the shard's range), so it must
+// also be safe to call from multiple goroutines and derive every write from
+// the payload and cells of the shard being written — gate per-cell work on
+// TickWriter.Owns to skip (and avoid reading) other shards' cells. See
+// RecoverFrom.
 type ReplayActionFunc func(tick uint64, payload []byte, w *TickWriter) error
 
 // ApplyActionTick logs one tick as an opaque action payload and applies its
@@ -87,9 +117,27 @@ func (e *Engine) ApplyActionTick(payload []byte, apply func(w *TickWriter) error
 	return nil
 }
 
-// replayRecord applies one logged record during recovery, dispatching on the
-// kind tag. It returns the number of cell writes performed.
+// replayRecord applies one logged record during serial recovery: the
+// shard-filtered dispatch over the full object range.
 func (e *Engine) replayRecord(tick uint64, body []byte, updBuf *[]wal.Update) (int64, error) {
+	return e.replayRecordRange(0, e.store.NumObjects(), tick, body, updBuf)
+}
+
+// replayRecordShard applies one logged record restricted to one shard's
+// object range: the parallel recovery pipeline hands every record to every
+// shard's replay worker, and each worker keeps only the effects its shard
+// owns.
+func (e *Engine) replayRecordShard(shard int, tick uint64, body []byte, updBuf *[]wal.Update) (int64, error) {
+	lo, hi := e.plan.objRange(shard)
+	return e.replayRecordRange(lo, hi, tick, body, updBuf)
+}
+
+// replayRecordRange dispatches one logged record on its kind tag, keeping
+// only effects on objects in [lo, hi): update batches are filtered by the
+// updated object's owner; action records are re-executed with a
+// range-filtered TickWriter. It returns the number of cell writes applied,
+// so the per-shard counts sum to the serial path's total.
+func (e *Engine) replayRecordRange(lo, hi int, tick uint64, body []byte, updBuf *[]wal.Update) (int64, error) {
 	if len(body) == 0 {
 		return 0, fmt.Errorf("engine: empty log record at tick %d", tick)
 	}
@@ -101,15 +149,20 @@ func (e *Engine) replayRecord(tick uint64, body []byte, updBuf *[]wal.Update) (i
 		if err != nil {
 			return 0, err
 		}
+		var n int64
 		for _, u := range *updBuf {
+			if obj := int(e.store.ObjectOf(u.Cell)); obj < lo || obj >= hi {
+				continue
+			}
 			e.store.SetCell(u.Cell, u.Value)
+			n++
 		}
-		return int64(len(*updBuf)), nil
+		return n, nil
 	case recAction:
 		if e.opts.ReplayAction == nil {
 			return 0, fmt.Errorf("engine: log holds action records but no ReplayAction was provided")
 		}
-		w := &TickWriter{e: e}
+		w := &TickWriter{e: e, lo: lo, hi: hi}
 		if err := e.opts.ReplayAction(tick, payload, w); err != nil {
 			return w.applied, err
 		}

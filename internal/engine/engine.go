@@ -91,19 +91,45 @@ type Engine struct {
 // Open creates or reopens an engine in opts.Dir. If the directory holds a
 // previous incarnation's state, Open performs crash recovery (restore newest
 // complete image + replay the logical log) before returning; the outcome is
-// available via Recovery().
+// available via Recovery(). Open recovers serially — the paper's
+// ΔTrecovery = ΔTrestore + ΔTreplay sum; RecoverFrom is the sharded
+// pipelined alternative.
 func Open(opts Options) (*Engine, error) {
+	e, _, err := open(opts, false)
+	return e, err
+}
+
+// RecoverFrom opens an engine in opts.Dir like Open, but runs the sharded
+// parallel recovery pipeline: the backup image is restored by one vectored
+// reader per shard while the logical log replays shard-filtered in
+// parallel, each shard's replay gated on its own restore watermark (see
+// recovery.RecoverParallel). The recovered engine resumes ticking with its
+// shard partition pre-populated; the returned ParallelResult carries the
+// per-shard and per-stage timing breakdown.
+//
+// Recovery is byte-identical to Open's serial path for update-batch logs at
+// any shard count. Logs holding action records replay exactly when
+// Options.ReplayAction derives every write from the payload and cells of
+// the object range it is writing into (e.g. per-unit read-modify-write,
+// gated on TickWriter.Owns); an action whose writes depend on reads from
+// other shards needs the serial path.
+func RecoverFrom(opts Options) (*Engine, recovery.ParallelResult, error) {
+	return open(opts, true)
+}
+
+func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error) {
 	if err := opts.Table.Validate(); err != nil {
-		return nil, err
+		return nil, recovery.ParallelResult{}, err
 	}
+	var pres recovery.ParallelResult
 	switch opts.Mode {
 	case ModeNone, ModeNaiveSnapshot, ModeCopyOnUpdate, ModeAtomicCopy, ModeDribble:
 	default:
-		return nil, fmt.Errorf("engine: unknown mode %d", int(opts.Mode))
+		return nil, pres, fmt.Errorf("engine: unknown mode %d", int(opts.Mode))
 	}
 	store, err := NewStore(opts.Table)
 	if err != nil {
-		return nil, err
+		return nil, pres, err
 	}
 	e := &Engine{opts: opts, store: store, plan: makeShardPlan(store.NumObjects(), opts.Shards)}
 
@@ -112,10 +138,10 @@ func Open(opts Options) (*Engine, error) {
 		devs[0], devs[1] = disk.NewMem(), disk.NewMem()
 	} else {
 		if opts.Dir == "" {
-			return nil, errors.New("engine: Dir required unless InMemory")
+			return nil, pres, errors.New("engine: Dir required unless InMemory")
 		}
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
-			return nil, fmt.Errorf("engine: %w", err)
+			return nil, pres, fmt.Errorf("engine: %w", err)
 		}
 		open := opts.DeviceFactory
 		if open == nil {
@@ -124,7 +150,7 @@ func Open(opts Options) (*Engine, error) {
 		for i, name := range []string{"backup-a.img", "backup-b.img"} {
 			d, err := open(filepath.Join(opts.Dir, name))
 			if err != nil {
-				return nil, err
+				return nil, pres, err
 			}
 			devs[i] = d
 		}
@@ -137,7 +163,7 @@ func Open(opts Options) (*Engine, error) {
 	for i, d := range devs {
 		b, err := disk.NewBackup(d, store.NumObjects(), store.ObjSize())
 		if err != nil {
-			return nil, err
+			return nil, pres, err
 		}
 		backups[i] = b
 	}
@@ -149,25 +175,46 @@ func Open(opts Options) (*Engine, error) {
 	} else {
 		log, err := wal.Open(filepath.Join(opts.Dir, "wal"))
 		if err != nil {
-			return nil, err
+			return nil, pres, err
 		}
 		e.log = log
 		// Record interpretation during replay needs a checkpointer in place
 		// for action ticks; bookkeeping is irrelevant here (everything is
 		// marked dirty after recovery), so a no-op stands in.
 		e.cp = newNop()
-		var updBuf []wal.Update
-		var replayed int64
-		res, err := recovery.RunRecords(backups[0], backups[1], store.Slab(), log,
-			func(tick uint64, body []byte) error {
-				n, rerr := e.replayRecord(tick, body, &updBuf)
-				replayed += n
-				return rerr
+		var res recovery.Result
+		if parallel {
+			// The pipeline is partitioned exactly like the engine: one
+			// restore reader and one replay worker per shard, each owning
+			// its plan range of the slab.
+			ranges := make([]recovery.ShardRange, e.plan.count())
+			scratch := make([][]wal.Update, e.plan.count())
+			for s := range ranges {
+				lo, hi := e.plan.objRange(s)
+				ranges[s] = recovery.ShardRange{Lo: lo, Hi: hi}
+			}
+			pres, err = recovery.RecoverParallel(recovery.ParallelOptions{
+				A: backups[0], B: backups[1], Slab: store.Slab(), Log: log,
+				Ranges: ranges,
+				Apply: func(shard int, tick uint64, body []byte) (int64, error) {
+					return e.replayRecordShard(shard, tick, body, &scratch[shard])
+				},
 			})
-		res.ReplayedUpdates = replayed
+			res = pres.Result
+		} else {
+			var updBuf []wal.Update
+			var replayed int64
+			res, err = recovery.RunRecords(backups[0], backups[1], store.Slab(), log,
+				func(tick uint64, body []byte) error {
+					n, rerr := e.replayRecord(tick, body, &updBuf)
+					replayed += n
+					return rerr
+				})
+			res.ReplayedUpdates = replayed
+		}
 		if err != nil {
 			log.Close()
-			return nil, err
+			return nil, pres, err
 		}
 		e.recovered = res
 		e.tick = res.NextTick
@@ -201,7 +248,7 @@ func Open(opts Options) (*Engine, error) {
 	if e.plan.count() > 1 {
 		e.pool = newApplyPool(e.plan.count(), e.applyShard)
 	}
-	return e, nil
+	return e, pres, nil
 }
 
 // Shards returns the effective shard count of the engine's partition.

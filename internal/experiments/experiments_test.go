@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/checkpoint"
 )
@@ -412,5 +413,39 @@ func TestMultiServerScaling(t *testing.T) {
 		if len(ms.Raw[m]) != m {
 			t.Errorf("M=%d has %d results", m, len(ms.Raw[m]))
 		}
+	}
+}
+
+// TestRecoveryTimePipeline runs a tiny unthrottled recovery-time sweep and
+// checks the paper's ΔTrestore/ΔTreplay accounting: the log-length axis
+// controls replay exactly, stages are populated, and the pipeline total
+// never exceeds the stage sum by more than bookkeeping noise.
+func TestRecoveryTimePipeline(t *testing.T) {
+	rt, err := RunRecoveryTime(Quick, 1, []int{1, 2}, []int{4}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 1 * 2; len(rt.Rows) != want { // methods × lens × shards
+		t.Fatalf("%d rows, want %d", len(rt.Rows), want)
+	}
+	for _, row := range rt.Rows {
+		if row.ReplayedTicks != 4 {
+			t.Errorf("%s shards=%d: replayed %d ticks, want exactly the log length 4",
+				row.Mode, row.Shards, row.ReplayedTicks)
+		}
+		if row.Restore <= 0 || row.Replay <= 0 || row.Total <= 0 || row.Serial <= 0 {
+			t.Errorf("%s shards=%d: unpopulated timings %+v", row.Mode, row.Shards, row)
+		}
+		if row.Effective != row.Shards {
+			t.Errorf("%s: effective %d for requested %d at quick scale", row.Mode, row.Effective, row.Shards)
+		}
+		// Generous slack: loaded CI runners stretch scheduling gaps.
+		if row.Total > row.Restore+row.Replay+250*time.Millisecond {
+			t.Errorf("%s shards=%d: pipeline total %v far exceeds stage sum %v+%v",
+				row.Mode, row.Shards, row.Total, row.Restore, row.Replay)
+		}
+	}
+	if rt.Table().String() == "" || len(rt.Total.Series) != 2 {
+		t.Error("table or figures not populated")
 	}
 }

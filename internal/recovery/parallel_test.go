@@ -1,0 +1,353 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/wal"
+)
+
+// Parallel-test geometry: 64 objects of 64 bytes (16 cells each).
+const (
+	pObj     = 64
+	pObjSize = 64
+	pCells   = pObj * pObjSize / 4
+)
+
+// objOfCell mirrors the engine's cell→object mapping at this geometry.
+func objOfCell(cell uint32) int { return int(cell) / (pObjSize / 4) }
+
+// applyFiltered decodes an update batch and applies the cells owned by
+// [lo,hi) to slab, returning how many it applied.
+func applyFiltered(slab []byte, lo, hi int, payload []byte) (int64, error) {
+	updates, err := wal.DecodeUpdates(nil, payload)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, u := range updates {
+		if obj := objOfCell(u.Cell); obj < lo || obj >= hi {
+			continue
+		}
+		slab[u.Cell*4] = byte(u.Value)
+		slab[u.Cell*4+1] = byte(u.Value >> 8)
+		slab[u.Cell*4+2] = byte(u.Value >> 16)
+		slab[u.Cell*4+3] = byte(u.Value >> 24)
+		n++
+	}
+	return n, nil
+}
+
+// buildWorkload writes an image consistent as of asOf into a and a log of
+// [0, ticks) update batches, returning the log.
+func buildWorkload(t *testing.T, a *disk.Backup, dir string, asOf uint64, ticks int, seed int64) *wal.Log {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]byte, pObj*pObjSize)
+	rng.Read(img)
+	if err := a.WriteRun(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteHeader(disk.Header{Epoch: 5, AsOfTick: asOf, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tick := uint64(0); tick < uint64(ticks); tick++ {
+		var batch []wal.Update
+		for i := 0; i < 20; i++ {
+			batch = append(batch, wal.Update{Cell: uint32(rng.Intn(pCells)), Value: rng.Uint32()})
+		}
+		if err := log.Append(tick, wal.EncodeUpdates(nil, batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return log
+}
+
+func pBackup(t *testing.T, dev disk.Device) *disk.Backup {
+	t.Helper()
+	b, err := disk.NewBackup(dev, pObj, pObjSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRecoverParallelMatchesSerial(t *testing.T) {
+	a, b := pBackup(t, disk.NewMem()), pBackup(t, disk.NewMem())
+	log := buildWorkload(t, a, t.TempDir(), 10, 40, 7)
+	defer log.Close()
+
+	serialSlab := make([]byte, pObj*pObjSize)
+	serialRes, err := Run(a, b, serialSlab, log,
+		func(u wal.Update) {
+			serialSlab[u.Cell*4] = byte(u.Value)
+			serialSlab[u.Cell*4+1] = byte(u.Value >> 8)
+			serialSlab[u.Cell*4+2] = byte(u.Value >> 16)
+			serialSlab[u.Cell*4+3] = byte(u.Value >> 24)
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			slab := bytes.Repeat([]byte{0xFF}, pObj*pObjSize)
+			res, err := RecoverParallel(ParallelOptions{
+				A: a, B: b, Slab: slab, Log: log, Shards: shards,
+				Apply: func(shard int, tick uint64, payload []byte) (int64, error) {
+					lo, hi := rangeOf(shards, shard)
+					return applyFiltered(slab, lo, hi, payload)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(slab, serialSlab) {
+				t.Fatal("parallel recovery slab differs from serial")
+			}
+			if res.NextTick != serialRes.NextTick || res.ReplayedTicks != serialRes.ReplayedTicks ||
+				res.ReplayedUpdates != serialRes.ReplayedUpdates ||
+				res.Restored != serialRes.Restored || res.AsOfTick != serialRes.AsOfTick {
+				t.Errorf("parallel result %+v differs from serial %+v", res.Result, serialRes)
+			}
+			if len(res.Shards) == 0 || res.TotalDuration <= 0 {
+				t.Errorf("missing pipeline timings: %+v", res)
+			}
+			var records int
+			for _, st := range res.Shards {
+				records += st.Records
+			}
+			if records != shards*res.ReplayedTicks {
+				t.Errorf("workers saw %d records, want %d (each of %d shards sees every record)",
+					records, shards*res.ReplayedTicks, shards)
+			}
+		})
+	}
+}
+
+// rangeOf mirrors evenRanges for the test's Apply closures.
+func rangeOf(shards, s int) (lo, hi int) {
+	per := (pObj + shards - 1) / shards
+	lo = s * per
+	hi = lo + per
+	if hi > pObj {
+		hi = pObj
+	}
+	return lo, hi
+}
+
+func TestRecoverParallelNoImageReplaysEverything(t *testing.T) {
+	a, b := pBackup(t, disk.NewMem()), pBackup(t, disk.NewMem())
+	dir := t.TempDir()
+	log, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	for tick := uint64(0); tick < 9; tick++ {
+		payload := wal.EncodeUpdates(nil, []wal.Update{{Cell: uint32(tick * 16), Value: uint32(tick + 1)}})
+		if err := log.Append(tick, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slab := bytes.Repeat([]byte{0xEE}, pObj*pObjSize)
+	res, err := RecoverParallel(ParallelOptions{
+		A: a, B: b, Slab: slab, Log: log, Shards: 4,
+		Apply: func(shard int, tick uint64, payload []byte) (int64, error) {
+			lo, hi := rangeOf(4, shard)
+			return applyFiltered(slab, lo, hi, payload)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restored || res.BackupIndex != -1 {
+		t.Errorf("restored from empty backups: %+v", res.Result)
+	}
+	if res.ReplayedTicks != 9 || res.NextTick != 9 || res.ReplayedUpdates != 9 {
+		t.Errorf("replay counts: %+v", res.Result)
+	}
+	for tick := uint64(0); tick < 9; tick++ {
+		if got := slab[tick*16*4]; got != byte(tick+1) {
+			t.Errorf("tick %d update missing (cell byte %d)", tick, got)
+		}
+	}
+	// Unlogged regions must be zeroed, not left with stale bytes.
+	if slab[len(slab)-1] != 0 {
+		t.Error("slab tail not zeroed on no-image recovery")
+	}
+}
+
+func TestRecoverParallelRestoreOnly(t *testing.T) {
+	a, b := pBackup(t, disk.NewMem()), pBackup(t, disk.NewMem())
+	want := make([]byte, pObj*pObjSize)
+	rand.New(rand.NewSource(9)).Read(want)
+	if err := a.WriteRun(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteHeader(disk.Header{Epoch: 3, AsOfTick: 17, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	slab := make([]byte, pObj*pObjSize)
+	res, err := RecoverParallel(ParallelOptions{A: a, B: b, Slab: slab, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(slab, want) {
+		t.Fatal("restore-only slab mismatch")
+	}
+	if !res.Restored || res.NextTick != 18 || res.RestoreDuration <= 0 {
+		t.Errorf("result: %+v", res)
+	}
+	if res.ReplayDuration != 0 {
+		t.Errorf("replay duration %v without a log", res.ReplayDuration)
+	}
+}
+
+func TestRecoverParallelValidatesGeometry(t *testing.T) {
+	a, b := pBackup(t, disk.NewMem()), pBackup(t, disk.NewMem())
+	if _, err := RecoverParallel(ParallelOptions{A: a, B: b, Slab: make([]byte, 7)}); err == nil {
+		t.Error("short slab accepted")
+	}
+	slab := make([]byte, pObj*pObjSize)
+	if _, err := RecoverParallel(ParallelOptions{
+		A: a, B: b, Slab: slab,
+		Ranges: []ShardRange{{0, 10}, {20, pObj}}, // gap
+	}); err == nil {
+		t.Error("gapped ranges accepted")
+	}
+	if _, err := RecoverParallel(ParallelOptions{
+		A: a, B: b, Slab: slab,
+		Ranges: []ShardRange{{0, pObj - 1}}, // short
+	}); err == nil {
+		t.Error("short ranges accepted")
+	}
+	log, err := wal.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if _, err := RecoverParallel(ParallelOptions{A: a, B: b, Slab: slab, Log: log}); err == nil {
+		t.Error("log without Apply accepted")
+	}
+}
+
+func TestRecoverParallelApplyErrorPropagates(t *testing.T) {
+	a, b := pBackup(t, disk.NewMem()), pBackup(t, disk.NewMem())
+	log := buildWorkload(t, a, t.TempDir(), 2, 10, 11)
+	defer log.Close()
+	sentinel := errors.New("boom")
+	slab := make([]byte, pObj*pObjSize)
+	_, err := RecoverParallel(ParallelOptions{
+		A: a, B: b, Slab: slab, Log: log, Shards: 4,
+		Apply: func(shard int, tick uint64, payload []byte) (int64, error) {
+			if shard == 2 && tick == 7 {
+				return 0, sentinel
+			}
+			return 0, nil
+		},
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("apply error not propagated: %v", err)
+	}
+}
+
+// TestRecoverParallelOverlap: with a throttled backup the early shards'
+// replay must begin while later shards are still restoring, so the overlap
+// is strictly positive and the pipeline total undercuts the serial sum of
+// the stages.
+func TestRecoverParallelOverlap(t *testing.T) {
+	// 4 KB image at 100 KB/s ≈ 40 ms restore; the token bucket staggers the
+	// four shards ≈10 ms apart, so the first shard's replay leads the last
+	// shard's restore by ≈30 ms — wide enough to stay positive on a loaded
+	// runner.
+	dev := disk.NewThrottle(disk.NewMem(), 1e5)
+	a, b := pBackup(t, dev), pBackup(t, disk.NewMem())
+	log := buildWorkload(t, a, t.TempDir(), 0, 60, 13)
+	defer log.Close()
+	slab := make([]byte, pObj*pObjSize)
+	res, err := RecoverParallel(ParallelOptions{
+		A: a, B: b, Slab: slab, Log: log, Shards: 4,
+		Apply: func(shard int, tick uint64, payload []byte) (int64, error) {
+			lo, hi := rangeOf(4, shard)
+			return applyFiltered(slab, lo, hi, payload)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overlap() <= 0 {
+		t.Errorf("restore∥replay overlap %v not positive: restore=%v replay=%v total=%v",
+			res.Overlap(), res.RestoreDuration, res.ReplayDuration, res.TotalDuration)
+	}
+}
+
+func TestChooseBackupDegradesToReadableBackup(t *testing.T) {
+	// Backup 1 holds the newer image but its medium fails on read; recovery
+	// must degrade to backup 0's older complete image instead of aborting.
+	goodDev := disk.NewMem()
+	good := pBackup(t, goodDev)
+	img := bytes.Repeat([]byte{0x11}, pObj*pObjSize)
+	if err := good.WriteRun(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := good.WriteHeader(disk.Header{Epoch: 3, AsOfTick: 30, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	badDev := disk.NewMem()
+	seed := pBackup(t, badDev)
+	if err := seed.WriteHeader(disk.Header{Epoch: 9, AsOfTick: 90, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	bad := pBackup(t, disk.NewReadFault(badDev))
+
+	idx, h, err := ChooseBackup(good, bad)
+	if err != nil {
+		t.Fatalf("degraded choose errored: %v", err)
+	}
+	if idx != 0 || h.Epoch != 3 {
+		t.Errorf("chose %d epoch %d, want backup 0 epoch 3", idx, h.Epoch)
+	}
+	// Order must not matter.
+	idx, h, err = ChooseBackup(bad, good)
+	if err != nil || idx != 1 || h.Epoch != 3 {
+		t.Errorf("reversed: idx=%d epoch=%d err=%v, want backup 1 epoch 3", idx, h.Epoch, err)
+	}
+
+	// Restore through the degraded pair works end to end.
+	slab := make([]byte, pObj*pObjSize)
+	res, err := Restore(good, bad, slab)
+	if err != nil {
+		t.Fatalf("degraded restore: %v", err)
+	}
+	if !res.Restored || res.BackupIndex != 0 || !bytes.Equal(slab, img) {
+		t.Errorf("degraded restore result %+v", res)
+	}
+}
+
+func TestChooseBackupFailsWhenBothUnusable(t *testing.T) {
+	// One backup errors and the other holds no complete image: recovering
+	// into an empty state would discard whatever the broken backup held, so
+	// this must be an error, not a silent cold start.
+	badDev := disk.NewMem()
+	if err := pBackup(t, badDev).WriteHeader(disk.Header{Epoch: 2, Complete: true}); err != nil {
+		t.Fatal(err)
+	}
+	bad := pBackup(t, disk.NewReadFault(badDev))
+	fresh := pBackup(t, disk.NewMem())
+	if _, _, err := ChooseBackup(bad, fresh); !errors.Is(err, disk.ErrFaultInjected) {
+		t.Errorf("both-unusable choose = %v, want wrapped ErrFaultInjected", err)
+	}
+	// Two erroring backups: still an error.
+	if _, _, err := ChooseBackup(bad, bad); err == nil {
+		t.Error("two faulted backups chosen silently")
+	}
+}

@@ -34,9 +34,15 @@ type Result struct {
 
 // ChooseBackup inspects both image headers and returns the index of the
 // newest complete image, or -1 if neither is usable. disk.ErrNoImage from a
-// header read is treated as "no image" (fresh or torn), not an error.
+// header read is treated as "no image" (fresh or torn), not an error. Any
+// other header error (unreadable device, geometry mismatch) makes that
+// backup unusable but does not abort recovery: the point of the double
+// backup is that one image surviving is enough. Recovery fails only when a
+// backup errored AND no complete image exists — falling back to an empty
+// state would silently discard the state the broken backup may hold.
 func ChooseBackup(a, b *disk.Backup) (int, disk.Header, error) {
 	var best disk.Header
+	var firstErr error
 	idx := -1
 	for i, bk := range []*disk.Backup{a, b} {
 		h, err := bk.ReadHeader()
@@ -44,7 +50,10 @@ func ChooseBackup(a, b *disk.Backup) (int, disk.Header, error) {
 			continue
 		}
 		if err != nil {
-			return -1, disk.Header{}, fmt.Errorf("recovery: backup %d: %w", i, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("recovery: backup %d: %w", i, err)
+			}
+			continue
 		}
 		if !h.Complete {
 			continue
@@ -53,6 +62,9 @@ func ChooseBackup(a, b *disk.Backup) (int, disk.Header, error) {
 			best = h
 			idx = i
 		}
+	}
+	if idx < 0 && firstErr != nil {
+		return -1, disk.Header{}, firstErr
 	}
 	return idx, best, nil
 }

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Reader iterates the log's records in order across all segments, one record
+// per Next call. It owns its file handles and touches no Log state, so any
+// number of Readers may scan one directory concurrently (the recovery
+// pipeline reads the log while restore workers stream the backup image), and
+// a Reader may run alongside an open Log as long as the writer is quiescent —
+// Log.NewReader flushes buffered appends to guarantee that.
+//
+// Tail semantics match Log.Replay: a torn or corrupt tail in the final
+// segment silently ends the scan (those ticks were never acknowledged as
+// durable); corruption inside a sealed segment is reported as an error.
+type Reader struct {
+	dir    string
+	starts []uint64
+	seg    int // index into starts of the open segment; len(starts) when done
+	f      *os.File
+	br     *bufio.Reader
+	off    int64 // valid bytes consumed in the open segment
+	err    error // sticky: a corrupt log never silently resumes
+}
+
+// NewReader opens a reader over the segments currently in dir.
+func NewReader(dir string) (*Reader, error) {
+	starts, err := segments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &Reader{dir: dir, starts: starts}, nil
+}
+
+// NewReader flushes buffered appends and opens a reader over the log's
+// current segments. The caller must not append while the reader is in use.
+func (l *Log) NewReader() (*Reader, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := l.bw.Flush(); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	dir := l.dir
+	l.mu.Unlock()
+	return NewReader(dir)
+}
+
+// Next returns the next record in log order. The payload is freshly
+// allocated per record and safe to retain or hand to another goroutine. At
+// the end of the log it returns io.EOF. An error is sticky: once a sealed
+// segment reports corruption, every further Next repeats the error rather
+// than silently resuming past the hole.
+func (r *Reader) Next() (tick uint64, payload []byte, err error) {
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	for {
+		if r.f == nil {
+			if r.seg >= len(r.starts) {
+				return 0, nil, io.EOF
+			}
+			f, err := os.Open(filepath.Join(r.dir, segName(r.starts[r.seg])))
+			if err != nil {
+				return 0, nil, fmt.Errorf("wal: %w", err)
+			}
+			r.f = f
+			r.br = bufio.NewReaderSize(f, 1<<16)
+			r.off = 0
+		}
+		tick, payload, ok := r.readRecord()
+		if ok {
+			return tick, payload, nil
+		}
+		// The scan stopped short: clean end, torn tail, or corruption.
+		if err := r.finishSegment(); err != nil {
+			r.err = err
+			return 0, nil, err
+		}
+	}
+}
+
+// readRecord parses one record, returning ok=false at a clean EOF, torn
+// tail, or corruption (finishSegment decides which of those is an error).
+func (r *Reader) readRecord() (tick uint64, payload []byte, ok bool) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return 0, nil, false // clean EOF or torn header
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if length < 8 || length > maxRecordSize {
+		return 0, nil, false // corrupt length
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r.br, body); err != nil {
+		return 0, nil, false // torn body
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return 0, nil, false // corrupt body
+	}
+	r.off += int64(8 + len(body))
+	return binary.LittleEndian.Uint64(body), body[8:], true
+}
+
+// finishSegment closes the open segment after its scan stopped, erroring if
+// a sealed (non-final) segment ended before its physical size — records that
+// were acknowledged durable must never be skipped silently.
+func (r *Reader) finishSegment() error {
+	name := segName(r.starts[r.seg])
+	info, statErr := r.f.Stat()
+	r.f.Close() //nolint:errcheck // read-only handle
+	r.f, r.br = nil, nil
+	lastSeg := r.seg == len(r.starts)-1
+	r.seg++
+	if lastSeg {
+		return nil
+	}
+	if statErr != nil {
+		return fmt.Errorf("wal: %w", statErr)
+	}
+	if r.off < info.Size() {
+		return fmt.Errorf("wal: segment %s corrupt at offset %d of %d", name, r.off, info.Size())
+	}
+	return nil
+}
+
+// Close releases the reader's file handle. The reader must not be used
+// afterwards.
+func (r *Reader) Close() error {
+	if r.f != nil {
+		err := r.f.Close()
+		r.f, r.br = nil, nil
+		r.seg = len(r.starts)
+		return err
+	}
+	r.seg = len(r.starts)
+	return nil
+}

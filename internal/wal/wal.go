@@ -253,49 +253,26 @@ func (l *Log) Close() error {
 // ticks were never acknowledged as durable); corruption in the middle of the
 // log is reported as an error.
 func (l *Log) Replay(from uint64, fn func(tick uint64, payload []byte) error) error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return ErrClosed
-	}
-	if err := l.bw.Flush(); err != nil {
-		l.mu.Unlock()
-		return err
-	}
-	dir := l.dir
-	l.mu.Unlock()
-
-	starts, err := segments(dir)
+	r, err := l.NewReader()
 	if err != nil {
 		return err
 	}
-	for i, start := range starts {
-		lastSeg := i == len(starts)-1
-		path := filepath.Join(dir, segName(start))
-		validLen, _, _, err := scanSegment(path, func(tick uint64, payload []byte) error {
-			if tick < from {
-				return nil
-			}
-			return fn(tick, payload)
-		}, 0)
-		if err != nil {
-			return fmt.Errorf("wal: segment %s: %w", segName(start), err)
+	defer r.Close()
+	for {
+		tick, payload, err := r.Next()
+		if err == io.EOF {
+			return nil
 		}
-		if !lastSeg {
-			// Sealed segments were fully synced before rotation; a scan
-			// stopping short of the file end means corruption of records
-			// that were acknowledged durable — report it, never skip it.
-			info, err := os.Stat(path)
-			if err != nil {
-				return fmt.Errorf("wal: %w", err)
-			}
-			if validLen < info.Size() {
-				return fmt.Errorf("wal: segment %s corrupt at offset %d of %d",
-					segName(start), validLen, info.Size())
-			}
+		if err != nil {
+			return err
+		}
+		if tick < from {
+			continue
+		}
+		if err := fn(tick, payload); err != nil {
+			return err
 		}
 	}
-	return nil
 }
 
 // scanSegment reads records from a segment, calling fn (if non-nil) for each

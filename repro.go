@@ -154,7 +154,18 @@ type CheckpointInfo = engine.CheckpointInfo
 // RecoveryResult describes the recovery performed by OpenEngine.
 type RecoveryResult = recovery.Result
 
+// ParallelRecoveryResult is a RecoveryResult plus the pipeline's per-shard
+// and per-stage timing breakdown.
+type ParallelRecoveryResult = recovery.ParallelResult
+
 // OpenEngine creates or reopens a durable engine. Reopening a directory
 // that holds a previous incarnation's state performs crash recovery before
 // returning.
 func OpenEngine(opts EngineOptions) (*Engine, error) { return engine.Open(opts) }
+
+// RecoverEngine is OpenEngine through the sharded parallel recovery
+// pipeline: per-shard vectored restore overlapped with shard-filtered log
+// replay, gated by per-shard restore watermarks.
+func RecoverEngine(opts EngineOptions) (*Engine, ParallelRecoveryResult, error) {
+	return engine.RecoverFrom(opts)
+}
