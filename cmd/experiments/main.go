@@ -8,14 +8,17 @@
 //
 // Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
 // fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
-// logging, ksafety, multiserver, sharding, recoverytime, all. Output is
-// printed as aligned text tables; -out additionally writes CSV files per
-// figure.
+// logging, ksafety, multiserver, sharding, recoverytime, failovertime, all.
+// Output is printed as aligned text tables; -out additionally writes CSV
+// files per figure.
 //
 // -shards N runs the fig6 validation engine sharded (N apply workers and
 // checkpoint flushers); the sharding and recoverytime experiments sweep
 // shard counts regardless. -recovery-log-ticks trims the recoverytime
-// log-length axis (CI smoke uses a single tiny value).
+// log-length axis (CI smoke uses a single tiny value). failovertime builds
+// a live primary→standby replication pair per point and reports warm
+// takeover vs cold recovery; -failover-updates/-lag/-shards pin single
+// values for its axes and -failover-log-ticks the crash-point log length.
 package main
 
 import (
@@ -41,7 +44,12 @@ func main() {
 		diskBench = flag.Bool("disk-bench", false, "measure real disk bandwidth for table3 (writes 256 MB)")
 		shards    = flag.Int("shards", 0, "engine shards for fig6 validation (0 = paper-faithful single shard)")
 		recLog    = flag.Int("recovery-log-ticks", 0, "single log length for recoverytime (0 = scale default sweep)")
-		recDisk   = flag.Float64("recovery-disk", 0, "recoverytime backup throttle in bytes/sec (0 = paper disk, <0 = unthrottled)")
+		recDisk   = flag.Float64("recovery-disk", 0, "recoverytime/failovertime backup throttle in bytes/sec (0 = paper disk, <0 = unthrottled)")
+		foLog     = flag.Int("failover-log-ticks", 0, "failovertime log length behind the crash (0 = scale default)")
+		foUpd     = flag.Int("failover-updates", 0, "single failovertime update rate (0 = default sweep)")
+		foLag     = flag.Int("failover-lag", 0, "single failovertime replay-lag budget (0 = default sweep)")
+		foShards  = flag.Int("failover-shards", 0, "single failovertime shard count (0 = default sweep)")
+		foCheck   = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
 	)
 	flag.Parse()
 
@@ -63,7 +71,8 @@ func main() {
 	want := func(name string) bool { return all || wanted[name] }
 
 	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot,
-		shards: *shards, recLog: *recLog, recDisk: *recDisk}
+		shards: *shards, recLog: *recLog, recDisk: *recDisk,
+		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck}
 
 	if want("table1") || want("table2") {
 		r.tables12()
@@ -110,6 +119,9 @@ func main() {
 	if want("recoverytime") {
 		r.recoverytime()
 	}
+	if want("failovertime") {
+		r.failovertime()
+	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
@@ -121,14 +133,19 @@ func fatalf(format string, args ...interface{}) {
 }
 
 type runner struct {
-	scale   experiments.Scale
-	seed    int64
-	outDir  string
-	gnuplot bool
-	shards  int
-	recLog  int
-	recDisk float64
-	ran     int
+	scale    experiments.Scale
+	seed     int64
+	outDir   string
+	gnuplot  bool
+	shards   int
+	recLog   int
+	recDisk  float64
+	foLog    int
+	foUpd    int
+	foLag    int
+	foShards int
+	foCheck  bool
+	ran      int
 }
 
 func (r *runner) emit(name string, fig *metrics.Figure) {
@@ -334,6 +351,41 @@ func (r *runner) recoverytime() {
 		r.emit("recoverytime-restore", &rt.Restore)
 		r.emit("recoverytime-replay", &rt.Replay)
 		r.emit("recoverytime-total", &rt.Total)
+	})
+}
+
+func (r *runner) failovertime() {
+	r.timed("failovertime", func() {
+		single := func(v int) []int {
+			if v > 0 {
+				return []int{v}
+			}
+			return nil
+		}
+		ft, err := experiments.RunFailoverTime(r.scale, r.seed,
+			single(r.foUpd), single(r.foLag), single(r.foShards), r.foLog, r.recDisk)
+		if err != nil {
+			fatalf("failovertime: %v", err)
+		}
+		r.emitTable("Failover: warm-standby takeover vs cold recovery", ft.Table())
+		r.emit("failovertime-takeover", &ft.Takeover)
+		r.emit("failovertime-cold", &ft.Cold)
+		for _, row := range ft.Rows {
+			// Byte-identity is unconditional: a promoted standby that
+			// differs from cold recovery is corrupt, whatever the timing.
+			if !row.Identical {
+				fatalf("failovertime: promoted standby NOT byte-identical to cold recovery (updates=%d lag=%d shards=%d)",
+					row.Updates, row.LagBudget, row.Shards)
+			}
+			if r.foCheck && row.Takeover >= row.ColdPipeline {
+				fatalf("failovertime: warm takeover %v not below cold pipeline %v (updates=%d lag=%d shards=%d)",
+					row.Takeover, row.ColdPipeline, row.Updates, row.LagBudget, row.Shards)
+			}
+		}
+		if r.foCheck {
+			fmt.Printf("failover-check passed: warm takeover strictly below cold pipeline in all %d rows, all byte-identical\n",
+				len(ft.Rows))
+		}
 	})
 }
 

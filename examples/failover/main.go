@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro"
 )
@@ -69,13 +70,24 @@ func main() {
 	}
 	f.Close()
 
-	// Phase 3: recover. The torn image is rejected; the older image plus a
-	// longer log replay reconstructs the exact pre-crash state.
-	eng2 := open()
+	// Phase 3: recover through the sharded parallel pipeline
+	// (repro.RecoverEngine): the torn image is rejected, the older image
+	// restores with one vectored reader per shard while the longer log
+	// replay overlaps it — reconstructing the exact pre-crash state.
+	eng2, pres, err := repro.RecoverEngine(repro.EngineOptions{
+		Table: table, Dir: dir, Mode: repro.ModeCopyOnUpdate, SyncEveryTick: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer eng2.Close()
 	rec := eng2.Recovery()
 	fmt.Printf("recovery fell back to image epoch %d (as of tick %d), replayed %d ticks\n",
 		rec.Epoch, rec.AsOfTick, rec.ReplayedTicks)
+	fmt.Printf("pipeline: restore %v ∥ replay %v → total %v (overlap %v, %d shards)\n",
+		pres.RestoreDuration.Round(time.Microsecond), pres.ReplayDuration.Round(time.Microsecond),
+		pres.TotalDuration.Round(time.Microsecond), pres.Overlap().Round(time.Microsecond),
+		len(pres.Shards))
 	if rec.NextTick != ticks {
 		log.Fatalf("lost ticks: recovered to %d, want %d", rec.NextTick, ticks)
 	}

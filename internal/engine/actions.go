@@ -80,8 +80,13 @@ type ReplayActionFunc func(tick uint64, payload []byte, w *TickWriter) error
 // effects via apply. The engine must have been opened with a ReplayAction
 // function, or recovery would be unable to interpret the record.
 func (e *Engine) ApplyActionTick(payload []byte, apply func(w *TickWriter) error) error {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	if e.closed {
 		return errors.New("engine: closed")
+	}
+	if e.standby {
+		return errors.New("engine: standby engines accept only replicated ticks until Promote")
 	}
 	if err := e.cp.err(); err != nil {
 		return fmt.Errorf("engine: checkpoint writer failed: %w", err)
@@ -113,7 +118,9 @@ func (e *Engine) ApplyActionTick(payload []byte, apply func(w *TickWriter) error
 	if e.opts.KeepTickStats {
 		e.stats.TickTimings = append(e.stats.TickTimings, TickTiming{Pause: pause})
 	}
+	tick := e.tick
 	e.tick++
+	e.notifySubs(tick)
 	return nil
 }
 

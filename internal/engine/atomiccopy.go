@@ -72,6 +72,11 @@ func (c *atomicCP) onUpdate(obj int32) {
 	c.dirty[1][w] |= m
 }
 
+func (c *atomicCP) bootstrap() (*disk.Backup, uint64, bool) {
+	b, e := rotateForBootstrap(c.backups, &c.cur, &c.epoch)
+	return b, e, true
+}
+
 // copyRange snapshots and clears one shard's dirty words, eagerly copying
 // every dirty object's bytes to the side buffer.
 func (c *atomicCP) copyRange(src []uint64, loWord, hiWord int) {

@@ -100,6 +100,12 @@ type checkpointer interface {
 	stats() *CPStats
 	// err surfaces an asynchronous writer failure, if any.
 	err() error
+	// bootstrap hands out the backup a standby's bootstrap image should be
+	// written to and the epoch to stamp it with, advancing the
+	// checkpointer's rotation so the next checkpoint targets the other
+	// backup with a later epoch. Called once, before any tick, on the
+	// opening goroutine. ok is false when the mode has no backups.
+	bootstrap() (b *disk.Backup, epoch uint64, ok bool)
 }
 
 // nopCheckpointer is the ModeNone baseline.
@@ -112,7 +118,10 @@ func newNop() *nopCheckpointer {
 	return &nopCheckpointer{done: make(chan CheckpointInfo)}
 }
 
-func (n *nopCheckpointer) onUpdate(int32)                   {}
+func (n *nopCheckpointer) onUpdate(int32) {}
+func (n *nopCheckpointer) bootstrap() (*disk.Backup, uint64, bool) {
+	return nil, 0, false
+}
 func (n *nopCheckpointer) endTick(uint64) time.Duration     { return 0 }
 func (n *nopCheckpointer) completed() <-chan CheckpointInfo { return n.done }
 func (n *nopCheckpointer) close() error                     { close(n.done); return nil }
@@ -242,7 +251,24 @@ func newNaive(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBac
 	return c
 }
 
+// rotateForBootstrap is the one place the standby-bootstrap rule lives for
+// every double-backup checkpointer: seed the backup the next checkpoint
+// would have targeted, stamp it with the next epoch, and leave the rotation
+// pointing at the other backup — exactly the state recovery sets up after
+// restoring an image.
+func rotateForBootstrap(backups [2]*disk.Backup, cur *int, epoch *uint64) (*disk.Backup, uint64) {
+	b := backups[*cur]
+	*cur ^= 1
+	*epoch++
+	return b, *epoch
+}
+
 func (c *naiveCP) onUpdate(int32) {}
+
+func (c *naiveCP) bootstrap() (*disk.Backup, uint64, bool) {
+	b, e := rotateForBootstrap(c.backups, &c.cur, &c.epoch)
+	return b, e, true
+}
 
 func (c *naiveCP) endTick(tick uint64) time.Duration {
 	if c.inFlight.Load() || c.werr.get() != nil {
@@ -486,6 +512,11 @@ func orUint64(addr *uint64, mask uint64) {
 			return
 		}
 	}
+}
+
+func (c *couCP) bootstrap() (*disk.Backup, uint64, bool) {
+	b, e := rotateForBootstrap(c.backups, &c.cur, &c.epoch)
+	return b, e, true
 }
 
 func (c *couCP) endTick(tick uint64) time.Duration {

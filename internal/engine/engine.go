@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/disk"
@@ -72,15 +74,30 @@ type Stats struct {
 // Engine is the durable game-state store: an in-memory slab, a logical log,
 // and an asynchronous checkpointer.
 type Engine struct {
-	opts  Options
-	store *Store
-	cp    checkpointer
-	log   *wal.Log
-	plan  shardPlan
-	pool  *applyPool // nil when the plan has a single shard
+	opts   Options
+	store  *Store
+	cp     checkpointer
+	log    *wal.Log
+	walDir string
+	plan   shardPlan
+	pool   *applyPool // nil when the plan has a single shard
+
+	// tickMu serializes the mutator paths (ApplyTick, ApplyActionTick,
+	// IngestReplicated) against the replication snapshot handoff, so
+	// Snapshot never observes a half-applied tick. Uncontended in a
+	// replication-free engine.
+	tickMu  sync.Mutex
+	standby bool // accepts only IngestReplicated until Promote
+
+	// replMu guards the tick-commit subscriber list; hasSubs lets the tick
+	// path skip it entirely when no shipper is attached.
+	replMu  sync.Mutex
+	subs    []*TickSub
+	hasSubs atomic.Bool
 
 	tick      uint64
 	encBuf    []byte
+	ingestBuf []wal.Update
 	stats     Stats
 	prevAsOf  uint64
 	havePrev  bool
@@ -173,7 +190,8 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 	if opts.InMemory {
 		e.recovered = recovery.Result{BackupIndex: -1}
 	} else {
-		log, err := wal.Open(filepath.Join(opts.Dir, "wal"))
+		e.walDir = filepath.Join(opts.Dir, "wal")
+		log, err := wal.Open(e.walDir)
 		if err != nil {
 			return nil, pres, err
 		}
@@ -298,8 +316,13 @@ func (e *Engine) ApplyTickParallel(updates []wal.Update) error {
 }
 
 func (e *Engine) applyTick(updates []wal.Update, parallel bool) error {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	if e.closed {
 		return errors.New("engine: closed")
+	}
+	if e.standby {
+		return errors.New("engine: standby engines accept only replicated ticks until Promote")
 	}
 	if err := e.cp.err(); err != nil {
 		return fmt.Errorf("engine: checkpoint writer failed: %w", err)
@@ -341,7 +364,9 @@ func (e *Engine) applyTick(updates []wal.Update, parallel bool) error {
 		e.stats.TickTimings = append(e.stats.TickTimings,
 			TickTiming{Apply: applyDur, Pause: pause})
 	}
+	tick := e.tick
 	e.tick++
+	e.notifySubs(tick)
 	return nil
 }
 
@@ -362,10 +387,12 @@ func (e *Engine) recordCheckpoint(info CheckpointInfo) {
 	e.stats.Checkpoints = append(e.stats.Checkpoints, info)
 	if e.log != nil {
 		// Records at or before info.AsOfTick are covered by the new
-		// image; keep one prior image's worth for safety.
+		// image; keep one prior image's worth for safety, and never prune
+		// past a replication subscriber's watermark — a shipper may still
+		// be streaming segments the checkpoint has made redundant locally.
 		if err := e.log.Rotate(e.tick + 1); err == nil {
 			if e.havePrev {
-				_ = e.log.Prune(e.prevAsOf + 1)
+				_ = e.log.Prune(e.retainFrom(e.prevAsOf + 1))
 			}
 		}
 		e.prevAsOf = info.AsOfTick
@@ -421,6 +448,8 @@ func (e *Engine) CheckpointStats() *CPStats { return e.cp.stats() }
 // Close finishes the in-flight checkpoint, flushes the log, and releases
 // resources. The engine must not be used afterwards.
 func (e *Engine) Close() error {
+	e.tickMu.Lock()
+	defer e.tickMu.Unlock()
 	if e.closed {
 		return nil
 	}

@@ -1,0 +1,278 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// TestSubscribeTicksSignalsAndFlushes: a subscriber sees a coalesced signal
+// per tick, and the freshly appended record is already visible to a
+// tail-follow reader when the signal arrives (the flush barrier).
+func TestSubscribeTicksSignalsAndFlushes(t *testing.T) {
+	e, err := Open(Options{Table: testTable(), Dir: t.TempDir(), Mode: ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sub, err := e.SubscribeTicks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	tr := wal.NewTailReader(e.WALDir(), 0)
+	defer tr.Close()
+	for tick := 0; tick < 5; tick++ {
+		if err := e.ApplyTick([]wal.Update{{Cell: uint32(tick), Value: uint32(tick)}}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case got := <-sub.C:
+			if got != uint64(tick) {
+				t.Fatalf("signal carried tick %d, want %d", got, tick)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("no signal for tick %d", tick)
+		}
+		// The record must be on disk (flushed) by signal time.
+		rt, _, ok, err := tr.TryNext()
+		if err != nil || !ok || rt != uint64(tick) {
+			t.Fatalf("tail after tick %d: tick=%d ok=%v err=%v", tick, rt, ok, err)
+		}
+	}
+}
+
+func TestSubscribeTicksRequiresLog(t *testing.T) {
+	e, err := Open(Options{Table: testTable(), InMemory: true, Mode: ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.SubscribeTicks(); err == nil {
+		t.Fatal("SubscribeTicks on an InMemory engine did not fail")
+	}
+}
+
+// TestSnapshotIsTickConsistent: the handoff covers exactly the ticks before
+// nextTick, regardless of how much is applied afterwards.
+func TestSnapshotIsTickConsistent(t *testing.T) {
+	tab := testTable()
+	e, err := Open(Options{Table: tab, Dir: t.TempDir(), Mode: ModeCopyOnUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(7))
+	ref := newReference(tab)
+	for tick := 0; tick < 10; tick++ {
+		batch := randomBatch(rng, tab.NumCells(), 32)
+		if err := e.ApplyTick(batch); err != nil {
+			t.Fatal(err)
+		}
+		ref.apply(batch)
+	}
+	nextTick, snap, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextTick != 10 {
+		t.Fatalf("snapshot nextTick %d, want 10", nextTick)
+	}
+	if !bytes.Equal(snap, e.Store().Slab()) {
+		t.Fatal("snapshot differs from the slab at capture time")
+	}
+	// More ticks must not retroactively change the captured copy.
+	before := append([]byte(nil), snap...)
+	for tick := 0; tick < 5; tick++ {
+		if err := e.ApplyTick(randomBatch(rng, tab.NumCells(), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(snap, before) {
+		t.Fatal("snapshot mutated by later ticks")
+	}
+}
+
+// TestSubscriberRetainsLog: with a subscriber that still needs tick 0, the
+// engine's checkpoint-driven pruning must not delete any segment; once the
+// watermark advances past the usual prune point, pruning resumes.
+func TestSubscriberRetainsLog(t *testing.T) {
+	tab := testTable()
+	dir := t.TempDir()
+	e, err := Open(Options{Table: tab, Dir: dir, Mode: ModeCopyOnUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sub, err := e.SubscribeTicks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	checkpoint := func() {
+		t.Helper()
+		if err := e.ApplyTick(randomBatch(rng, tab.NumCells(), 16)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.CheckpointNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		checkpoint()
+	}
+	// Everything must still replay from tick 0 for the subscriber.
+	seen := 0
+	if err := e.log.Replay(0, func(uint64, []byte) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(e.NextTick()); seen != got {
+		t.Fatalf("with need=0, log replays %d ticks, want all %d", seen, got)
+	}
+
+	// Advance the watermark beyond the log: pruning behaves as without
+	// a subscriber again.
+	sub.NeedFrom(e.NextTick())
+	for i := 0; i < 2; i++ {
+		checkpoint()
+	}
+	first := uint64(0)
+	found := false
+	err = e.log.Replay(0, func(tick uint64, _ []byte) error {
+		if !found {
+			first, found = tick, true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || first == 0 {
+		t.Fatalf("after watermark advance, log still starts at tick %d (found=%v)", first, found)
+	}
+}
+
+// TestStandbyLifecycle: OpenStandby installs the snapshot and bootstrap
+// image, gates normal ticking, ingests in strict order, and Promote makes
+// the engine a normal primary whose on-disk state recovers byte-identically.
+func TestStandbyLifecycle(t *testing.T) {
+	tab := testTable()
+	rng := rand.New(rand.NewSource(11))
+
+	// A primary with some history provides the snapshot.
+	pdir := t.TempDir()
+	p, err := Open(Options{Table: tab, Dir: pdir, Mode: ModeCopyOnUpdate, SyncEveryTick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]wal.Update
+	for tick := 0; tick < 6; tick++ {
+		batch := randomBatch(rng, tab.NumCells(), 24)
+		batches = append(batches, batch)
+		if err := p.ApplyTick(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nextTick, snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sdir := t.TempDir()
+	s, err := OpenStandby(Options{Table: tab, Dir: sdir, Mode: ModeCopyOnUpdate, SyncEveryTick: true}, nextTick, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsStandby() {
+		t.Fatal("OpenStandby engine does not report standby")
+	}
+	if err := s.ApplyTick(batches[0]); err == nil {
+		t.Fatal("standby accepted ApplyTick before Promote")
+	}
+
+	// Feed three more primary ticks through both engines.
+	enc := func(batch []wal.Update) []byte {
+		body := []byte{recUpdates}
+		return wal.EncodeUpdates(body, batch)
+	}
+	for tick := 6; tick < 9; tick++ {
+		batch := randomBatch(rng, tab.NumCells(), 24)
+		if err := p.ApplyTick(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.IngestReplicated(uint64(tick), enc(batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Gap and replay protection.
+	if err := s.IngestReplicated(12, enc(batches[0])); err == nil {
+		t.Fatal("standby accepted a tick gap")
+	}
+
+	if err := s.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsStandby() {
+		t.Fatal("promoted engine still reports standby")
+	}
+	if !bytes.Equal(s.Store().Slab(), p.Store().Slab()) {
+		t.Fatal("promoted standby differs from primary")
+	}
+	// The promoted engine ticks normally.
+	if err := s.ApplyTick(randomBatch(rng, tab.NumCells(), 8)); err != nil {
+		t.Fatalf("promoted engine rejects ApplyTick: %v", err)
+	}
+	promotedSlab := append([]byte(nil), s.Store().Slab()...)
+	wantNext := s.NextTick()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	// Standby durability: a crash-restart of the standby's own directory
+	// recovers through its bootstrap image + own log to the same bytes.
+	s2, err := Open(Options{Table: tab, Dir: sdir, Mode: ModeCopyOnUpdate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Recovery(); !got.Restored {
+		t.Fatal("standby restart found no bootstrap image")
+	}
+	if s2.NextTick() != wantNext {
+		t.Fatalf("standby restart recovered to tick %d, want %d", s2.NextTick(), wantNext)
+	}
+	if !bytes.Equal(s2.Store().Slab(), promotedSlab) {
+		t.Fatal("standby restart state differs from promoted state")
+	}
+}
+
+func TestOpenStandbyRejectsUsedDirAndBadGeometry(t *testing.T) {
+	tab := testTable()
+	dir := t.TempDir()
+	e, err := Open(Options{Table: tab, Dir: dir, Mode: ModeCopyOnUpdate, SyncEveryTick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ApplyTick([]wal.Update{{Cell: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+
+	snap := make([]byte, tab.StateBytes())
+	if _, err := OpenStandby(Options{Table: tab, Dir: dir, Mode: ModeCopyOnUpdate}, 1, snap); err == nil {
+		t.Fatal("OpenStandby accepted a directory with prior state")
+	}
+	if _, err := OpenStandby(Options{Table: tab, Dir: t.TempDir(), Mode: ModeCopyOnUpdate}, 1, snap[:8]); err == nil {
+		t.Fatal("OpenStandby accepted a short snapshot")
+	}
+	if _, err := OpenStandby(Options{Table: tab, Dir: t.TempDir(), Mode: ModeNone}, 1, snap); err == nil {
+		t.Fatal("OpenStandby accepted ModeNone with history")
+	}
+}

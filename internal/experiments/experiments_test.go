@@ -449,3 +449,39 @@ func TestRecoveryTimePipeline(t *testing.T) {
 		t.Error("table or figures not populated")
 	}
 }
+
+// TestFailoverTimeWarmStandby runs one unthrottled failover point and
+// checks the warm path's contract: the standby promoted at the crash tick,
+// byte-identical to cold recovery, with every timing populated. (The
+// warm-vs-cold ordering itself is only asserted under the paper's throttled
+// recovery disk — the CI smoke runs `-exp failovertime -failover-check`,
+// which fails on any row with takeover >= cold pipeline — because on
+// unthrottled tmpfs both paths are microseconds apart.)
+func TestFailoverTimeWarmStandby(t *testing.T) {
+	ft, err := RunFailoverTime(Quick, 1, []int{800}, []int{4}, []int{2}, 6, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(ft.Rows))
+	}
+	row := ft.Rows[0]
+	if !row.Identical {
+		t.Error("promoted standby is not byte-identical to cold recovery")
+	}
+	if row.StandbyTicks != uint64(failoverWarmTicks+6) {
+		t.Errorf("standby promoted at tick %d, want %d", row.StandbyTicks, failoverWarmTicks+6)
+	}
+	if row.ColdReplayedTicks != 6 {
+		t.Errorf("cold recovery replayed %d ticks, want exactly the log length 6", row.ColdReplayedTicks)
+	}
+	if row.Takeover <= 0 || row.ColdPipeline <= 0 || row.ColdSerial <= 0 {
+		t.Errorf("unpopulated timings %+v", row)
+	}
+	if row.Effective != 2 {
+		t.Errorf("effective shards %d, want 2", row.Effective)
+	}
+	if ft.Table().String() == "" || len(ft.Takeover.Series) != 1 || len(ft.Cold.Series) != 1 {
+		t.Error("table or figures not populated")
+	}
+}

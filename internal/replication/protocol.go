@@ -1,0 +1,176 @@
+// Package replication implements live WAL shipping from a primary engine to
+// a warm standby, the availability extension the paper's Section 8 names as
+// future work: instead of bounding downtime by cold checkpoint recovery
+// (restore + replay from disk), a standby keeps a second engine within a
+// bounded replay lag of the primary and takes over in sub-tick time when
+// the primary dies.
+//
+// The dataflow is deliberately log-structured, mirroring ReStore-style
+// in-memory checkpoint/replication systems:
+//
+//	primary engine ── wal append ──► wal dir ── TailReader ──► Shipper ──► conn
+//	                                                            ▲  acks │
+//	                                                            └───────┤
+//	conn ──► Standby ── IngestReplicated ──► standby engine (own WAL + checkpoints)
+//
+// The shipper is a *second concurrent consumer* of the primary's WAL: it
+// tail-follows the segment being appended (wal.TailReader), woken by the
+// engine's tick-commit notification, and streams a bootstrap snapshot
+// followed by tick records over a single duplex connection. The standby
+// acknowledges each applied tick; the shipper enforces a bounded
+// number of in-flight (shipped-but-unacked) ticks, so a slow standby
+// throttles shipping — it never corrupts it, and the primary never blocks
+// beyond its lag budget's worth of buffering.
+//
+// Everything on the wire is tick-framed, length-prefixed and CRC-checked,
+// so a connection cut at any byte seals the stream at the last complete
+// tick: promotion after a cut is byte-identical to crash-recovering a
+// primary that lost the same suffix.
+package replication
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// protocolVersion gates the handshake; both ends must match exactly.
+const protocolVersion = 1
+
+// magic opens the hello frame, so a mis-wired connection fails fast with a
+// clear error instead of a CRC mismatch.
+var magic = [8]byte{'M', 'M', 'O', 'R', 'E', 'P', 'L', protocolVersion}
+
+// Frame types. The stream is: hello ⇄ welcome, snapshot begin/chunk*/end,
+// then tick* one way and ack* the other.
+const (
+	ftHello     byte = 1 // primary → standby: magic, geometry
+	ftWelcome   byte = 2 // standby → primary: magic, geometry echo
+	ftSnapBegin byte = 3 // nextTick u64, total snapshot bytes u64
+	ftSnapChunk byte = 4 // offset u64, data
+	ftSnapEnd   byte = 5 // empty
+	ftTick      byte = 6 // tick u64, engine log record body
+	// ftAck carries the standby's high-water applied tick: logged to the
+	// standby's own WAL and applied to its slab. Durability of the
+	// standby's log follows its own SyncEveryTick configuration (and
+	// promotion always syncs before the engine is handed over), exactly
+	// like a primary's.
+	ftAck byte = 7 // tick u64
+)
+
+// maxFrameSize bounds one frame; larger lengths mark a corrupt or hostile
+// stream. It must accommodate a whole tick record (mirrors wal's record
+// bound) plus the frame type byte and a snapshot chunk.
+const maxFrameSize = 1<<28 + 64
+
+// snapChunkSize is the snapshot transfer granule.
+const snapChunkSize = 256 << 10
+
+// Frame layout: u32 length, u32 CRC32-IEEE of the body, body. The body's
+// first byte is the frame type. Length counts the body only.
+
+// writeFrame sends one frame. scratch is reused across calls; the returned
+// slice is the (possibly grown) scratch buffer.
+func writeFrame(w io.Writer, scratch []byte, body []byte) ([]byte, error) {
+	scratch = scratch[:0]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	scratch = append(scratch, hdr[:]...)
+	scratch = append(scratch, body...)
+	_, err := w.Write(scratch)
+	return scratch, err
+}
+
+// readFrame reads one frame, reusing buf when it is large enough. The
+// returned body aliases the returned buffer and is valid until the next
+// call. io errors pass through unwrapped so callers can distinguish a cut
+// connection (seal point) from in-stream corruption.
+func readFrame(r io.Reader, buf []byte) (body, nextBuf []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if length == 0 || length > maxFrameSize {
+		return nil, buf, fmt.Errorf("replication: frame length %d out of range", length)
+	}
+	if cap(buf) < int(length) {
+		buf = make([]byte, length)
+	}
+	body = buf[:length]
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, buf, err
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return nil, buf, errors.New("replication: frame checksum mismatch")
+	}
+	return body, buf, nil
+}
+
+// hello is the geometry handshake, sent by the primary and echoed by the
+// standby; a mismatch on any field aborts the session before any data.
+type hello struct {
+	objects  uint64
+	objSize  uint32
+	cellSize uint32
+}
+
+func encodeHello(typ byte, h hello) []byte {
+	body := make([]byte, 0, 1+len(magic)+16)
+	body = append(body, typ)
+	body = append(body, magic[:]...)
+	body = binary.LittleEndian.AppendUint64(body, h.objects)
+	body = binary.LittleEndian.AppendUint32(body, h.objSize)
+	body = binary.LittleEndian.AppendUint32(body, h.cellSize)
+	return body
+}
+
+func decodeHello(typ byte, body []byte) (hello, error) {
+	var h hello
+	if len(body) != 1+len(magic)+16 || body[0] != typ {
+		return h, fmt.Errorf("replication: malformed handshake frame (type %d, %d bytes)", body[0], len(body))
+	}
+	if [8]byte(body[1:9]) != magic {
+		return h, errors.New("replication: peer is not speaking this protocol version")
+	}
+	rest := body[9:]
+	h.objects = binary.LittleEndian.Uint64(rest[0:])
+	h.objSize = binary.LittleEndian.Uint32(rest[8:])
+	h.cellSize = binary.LittleEndian.Uint32(rest[12:])
+	return h, nil
+}
+
+func (h hello) check(peer hello) error {
+	if h != peer {
+		return fmt.Errorf("replication: geometry mismatch: local %d×%dB objects (cell %dB), peer %d×%dB (cell %dB)",
+			h.objects, h.objSize, h.cellSize, peer.objects, peer.objSize, peer.cellSize)
+	}
+	return nil
+}
+
+// tickFrame builds a ftTick body into scratch: type, tick, record body.
+func tickFrame(scratch []byte, tick uint64, record []byte) []byte {
+	scratch = append(scratch[:0], ftTick)
+	scratch = binary.LittleEndian.AppendUint64(scratch, tick)
+	return append(scratch, record...)
+}
+
+// u64Frame builds a body of type plus one u64 (acks, snapshot offsets).
+func u64Frame(typ byte, v uint64) []byte {
+	body := make([]byte, 0, 9)
+	body = append(body, typ)
+	return binary.LittleEndian.AppendUint64(body, v)
+}
+
+// decodeU64 parses a type-plus-u64 body.
+func decodeU64(typ byte, body []byte) (uint64, error) {
+	if len(body) != 9 || body[0] != typ {
+		return 0, fmt.Errorf("replication: malformed frame (want type %d, got type %d, %d bytes)",
+			typ, body[0], len(body))
+	}
+	return binary.LittleEndian.Uint64(body[1:]), nil
+}

@@ -1,0 +1,352 @@
+package replication
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// ErrStopped reports a shipper shut down by Stop rather than by a stream
+// failure.
+var ErrStopped = errors.New("replication: shipper stopped")
+
+// ShipperOptions configures a primary-side shipper.
+type ShipperOptions struct {
+	// MaxLagTicks bounds the number of shipped-but-unacknowledged ticks:
+	// the shipper stalls (never drops, never reorders) once the standby
+	// falls this many ticks behind, which in turn bounds the standby's
+	// replay lag — the warm-failover budget. <=0 means 64.
+	MaxLagTicks int
+	// IdlePoll is the tail reader's fallback poll interval when no
+	// tick-commit signal arrives (e.g. the primary is idle). <=0 means 5ms.
+	IdlePoll time.Duration
+}
+
+func (o *ShipperOptions) defaults() {
+	if o.MaxLagTicks <= 0 {
+		o.MaxLagTicks = 64
+	}
+	if o.IdlePoll <= 0 {
+		o.IdlePoll = 5 * time.Millisecond
+	}
+}
+
+// ShipperStats is a snapshot of a shipper's progress counters.
+type ShipperStats struct {
+	// StartTick is the first tick the stream carries (the bootstrap
+	// snapshot covers everything before it).
+	StartTick uint64
+	// SnapshotBytes is the size of the bootstrap image shipped.
+	SnapshotBytes int64
+	// TicksShipped and BytesShipped count ftTick traffic.
+	TicksShipped int64
+	BytesShipped int64
+	// Shipped and Acked are the high-water ticks sent and acknowledged.
+	Shipped, Acked       uint64
+	HasShipped, HasAcked bool
+}
+
+// Shipper streams a primary engine to one standby: bootstrap snapshot
+// first, then live WAL records tail-followed from the engine's log
+// directory, with ack-bounded in-flight ticks. Start it with StartShipper;
+// it runs until the connection breaks, the engine closes, or Stop.
+type Shipper struct {
+	e    *engine.Engine
+	conn net.Conn
+	opts ShipperOptions
+	sub  *engine.TickSub
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	stats   ShipperStats
+	err     error // first stream error (nil after a clean Stop)
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartShipper attaches a shipper to a live engine and starts streaming to
+// conn. It returns immediately; the handshake, snapshot and shipping all
+// run on background goroutines (the two ends of a connection can therefore
+// be started from one goroutine, in either order). The caller must Stop the
+// shipper before closing the engine.
+func StartShipper(e *engine.Engine, conn net.Conn, opts ShipperOptions) (*Shipper, error) {
+	opts.defaults()
+	sub, err := e.SubscribeTicks()
+	if err != nil {
+		return nil, err
+	}
+	s := &Shipper{
+		e:    e,
+		conn: conn,
+		opts: opts,
+		sub:  sub,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.run()
+	return s, nil
+}
+
+func (s *Shipper) run() {
+	defer close(s.done)
+	err := s.ship()
+	s.mu.Lock()
+	if s.err == nil && err != nil && !s.stopped {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.conn.Close() //nolint:errcheck // unblocks the peer; best effort
+	s.sub.Close()
+}
+
+// ship is the shipper's main line: handshake, snapshot bootstrap, then the
+// tail-follow loop.
+func (s *Shipper) ship() error {
+	store := s.e.Store()
+	local := hello{
+		objects:  uint64(store.NumObjects()),
+		objSize:  uint32(store.ObjSize()),
+		cellSize: 4,
+	}
+	var scratch, rbuf []byte
+	var err error
+	if scratch, err = writeFrame(s.conn, scratch, encodeHello(ftHello, local)); err != nil {
+		return fmt.Errorf("replication: handshake: %w", err)
+	}
+	body, rbuf, err := readFrame(s.conn, rbuf)
+	if err != nil {
+		return fmt.Errorf("replication: handshake: %w", err)
+	}
+	peer, err := decodeHello(ftWelcome, body)
+	if err != nil {
+		return err
+	}
+	if err := local.check(peer); err != nil {
+		return err
+	}
+
+	// Bootstrap: a consistent image as of nextTick-1, shipped in chunks.
+	// The engine keeps ticking while this streams; the WAL retains
+	// everything from nextTick for us (NeedFrom below).
+	nextTick, snap, err := s.e.Snapshot()
+	if err != nil {
+		return err
+	}
+	s.sub.NeedFrom(nextTick)
+	s.mu.Lock()
+	s.stats.StartTick = nextTick
+	s.stats.SnapshotBytes = int64(len(snap))
+	s.mu.Unlock()
+
+	begin := make([]byte, 0, 17)
+	begin = append(begin, ftSnapBegin)
+	begin = binary.LittleEndian.AppendUint64(begin, nextTick)
+	begin = binary.LittleEndian.AppendUint64(begin, uint64(len(snap)))
+	if scratch, err = writeFrame(s.conn, scratch, begin); err != nil {
+		return err
+	}
+	chunk := make([]byte, 0, 9+snapChunkSize)
+	for off := 0; off < len(snap); off += snapChunkSize {
+		end := off + snapChunkSize
+		if end > len(snap) {
+			end = len(snap)
+		}
+		chunk = append(chunk[:0], ftSnapChunk)
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(off))
+		chunk = append(chunk, snap[off:end]...)
+		if scratch, err = writeFrame(s.conn, scratch, chunk); err != nil {
+			return err
+		}
+	}
+	if scratch, err = writeFrame(s.conn, scratch, []byte{ftSnapEnd}); err != nil {
+		return err
+	}
+	snap = nil // the copy is on the wire; free the slab-sized buffer
+
+	go s.ackLoop()
+
+	// The live stream: tail-follow the WAL, framing every record with
+	// tick >= nextTick. TryNext is non-blocking; on a dry tail we wait for
+	// the engine's tick-commit signal (or the idle poll, which covers
+	// records that were appended before we subscribed).
+	tail := wal.NewTailReader(s.e.WALDir(), nextTick)
+	defer tail.Close()
+	var frame []byte
+	for {
+		select {
+		case <-s.stop:
+			return nil
+		default:
+		}
+		tick, payload, ok, err := tail.TryNext()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			select {
+			case <-s.stop:
+				return nil
+			case <-s.sub.C:
+			case <-time.After(s.opts.IdlePoll):
+			}
+			continue
+		}
+		if tick < nextTick {
+			continue // covered by the snapshot
+		}
+		if err := s.waitLag(tick, nextTick); err != nil {
+			return err
+		}
+		frame = tickFrame(frame, tick, payload)
+		if scratch, err = writeFrame(s.conn, scratch, frame); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.stats.TicksShipped++
+		s.stats.BytesShipped += int64(len(frame))
+		s.stats.Shipped, s.stats.HasShipped = tick, true
+		s.mu.Unlock()
+		// Ticks below the shipped frontier are on the wire; the primary's
+		// log no longer needs to retain them for this subscriber.
+		s.sub.NeedFrom(tick + 1)
+	}
+}
+
+// waitLag blocks until shipping tick would keep the in-flight window within
+// MaxLagTicks, the stream dies, or the shipper stops.
+func (s *Shipper) waitLag(tick, startTick uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.err != nil {
+			return s.err
+		}
+		var inFlight uint64
+		if s.stats.HasAcked {
+			inFlight = tick - s.stats.Acked
+		} else {
+			inFlight = tick - startTick + 1
+		}
+		if inFlight <= uint64(s.opts.MaxLagTicks) {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// ackLoop consumes the standby's acknowledgement stream and wakes the lag
+// gate. It owns the connection's read half.
+func (s *Shipper) ackLoop() {
+	var buf []byte
+	for {
+		body, nbuf, err := readFrame(s.conn, buf)
+		if err != nil {
+			s.mu.Lock()
+			if s.err == nil && !s.stopped {
+				s.err = fmt.Errorf("replication: ack stream: %w", err)
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		buf = nbuf
+		tick, err := decodeU64(ftAck, body)
+		if err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		s.stats.Acked, s.stats.HasAcked = tick, true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the shipper's counters.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Acked returns the standby's high-water applied tick.
+func (s *Shipper) Acked() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Acked, s.stats.HasAcked
+}
+
+// AwaitAck blocks until the standby has acknowledged tick, the stream
+// fails, or the timeout elapses.
+func (s *Shipper) AwaitAck(tick uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	// The cond is woken by every ack; a timer goroutine breaks the wait on
+	// timeout so a dead stream cannot park us forever.
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stats.HasAcked && s.stats.Acked >= tick {
+			return nil
+		}
+		if s.err != nil {
+			return s.err
+		}
+		if s.stopped {
+			return ErrStopped
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replication: tick %d not acknowledged within %v", tick, timeout)
+		}
+		s.cond.Wait()
+	}
+}
+
+// Done is closed when the shipper has fully stopped.
+func (s *Shipper) Done() <-chan struct{} { return s.done }
+
+// Err returns the stream error that ended the shipper, nil while running or
+// after a clean Stop.
+func (s *Shipper) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stop tears the session down: the connection is closed (the standby sees
+// the stream end and can promote) and the goroutines joined. It returns the
+// first stream error, or nil if the session was healthy.
+func (s *Shipper) Stop() error {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.conn.Close() //nolint:errcheck // unblocks both loops
+	<-s.done
+	return s.Err()
+}

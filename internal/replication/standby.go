@@ -1,0 +1,268 @@
+package replication
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// StandbyStats is a snapshot of a standby's progress counters.
+type StandbyStats struct {
+	// StartTick is the first streamed tick; the bootstrap snapshot covers
+	// everything before it.
+	StartTick uint64
+	// SnapshotBytes is the bootstrap image size received.
+	SnapshotBytes int64
+	// TicksApplied counts ingested ticks; Applied is the high-water tick
+	// applied (logged to the standby's own WAL and in its slab; synced
+	// per the engine's SyncEveryTick setting, and always at promotion).
+	TicksApplied int64
+	Applied      uint64
+	HasApplied   bool
+}
+
+// Standby mirrors a primary over one connection into its own engine
+// directory: it receives the bootstrap snapshot, opens a standby engine,
+// applies every streamed tick through the engine's own log and
+// checkpointer, and acknowledges each applied tick back to the shipper.
+//
+// When the stream ends — the primary died, the network cut, or the
+// shipper was stopped — the standby seals at the last *complete* tick
+// frame (a partial frame never reaches the engine: frames are
+// length-prefixed and CRC-checked) and Done is closed. Promote then turns
+// the warm engine into the new primary.
+type Standby struct {
+	conn net.Conn
+	opts engine.Options
+
+	mu    sync.Mutex
+	e     *engine.Engine
+	stats StandbyStats
+	err   error // what ended (or aborted) the stream
+	state int   // standbyRunning → standbySealed → standbyPromoted/Closed
+
+	ready chan struct{} // closed once the bootstrap snapshot is installed
+	done  chan struct{} // closed when the stream has ended and the applier joined
+}
+
+const (
+	standbyRunning = iota
+	standbyPromoted
+	standbyClosed
+)
+
+// StartStandby connects a new standby: it opens a warm engine in opts.Dir
+// (which must be fresh) once the primary's bootstrap snapshot arrives, then
+// mirrors the stream until it ends. It returns immediately; Ready is closed
+// when the engine is warm, Done when the stream has ended. Errors surface
+// via Err and Promote.
+func StartStandby(opts engine.Options, conn net.Conn) (*Standby, error) {
+	if err := opts.Table.Validate(); err != nil {
+		return nil, err
+	}
+	sb := &Standby{
+		conn:  conn,
+		opts:  opts,
+		ready: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go sb.run()
+	return sb, nil
+}
+
+func (sb *Standby) run() {
+	err := sb.serve()
+	sb.mu.Lock()
+	if sb.err == nil {
+		sb.err = err // always non-nil: a stream is ended by some error
+	}
+	sb.mu.Unlock()
+	sb.conn.Close() //nolint:errcheck
+	close(sb.done)
+}
+
+// serve runs the standby's whole session on one goroutine: handshake,
+// bootstrap, then the ingest/ack loop. Its return error is the stream's end
+// cause — io.EOF or a closed connection is the normal "primary died" seal.
+func (sb *Standby) serve() error {
+	local := hello{
+		objects:  uint64(sb.opts.Table.NumObjects()),
+		objSize:  uint32(sb.opts.Table.ObjSize),
+		cellSize: uint32(sb.opts.Table.CellSize),
+	}
+	var rbuf, scratch []byte
+	body, rbuf, err := readFrame(sb.conn, rbuf)
+	if err != nil {
+		return fmt.Errorf("replication: handshake: %w", err)
+	}
+	peer, err := decodeHello(ftHello, body)
+	if err != nil {
+		return err
+	}
+	if err := local.check(peer); err != nil {
+		return err
+	}
+	if scratch, err = writeFrame(sb.conn, scratch, encodeHello(ftWelcome, local)); err != nil {
+		return fmt.Errorf("replication: handshake: %w", err)
+	}
+
+	// Bootstrap: collect the snapshot image, then open the standby engine
+	// from it (OpenStandby persists it as the bootstrap checkpoint image,
+	// so the standby is recoverable before the first streamed tick lands).
+	body, rbuf, err = readFrame(sb.conn, rbuf)
+	if err != nil {
+		return fmt.Errorf("replication: bootstrap: %w", err)
+	}
+	if len(body) != 17 || body[0] != ftSnapBegin {
+		return errors.New("replication: expected snapshot begin frame")
+	}
+	nextTick := binary.LittleEndian.Uint64(body[1:])
+	total := binary.LittleEndian.Uint64(body[9:])
+	want := uint64(sb.opts.Table.StateBytes())
+	if total != want {
+		return fmt.Errorf("replication: snapshot is %d bytes, state geometry holds %d", total, want)
+	}
+	snap := make([]byte, total)
+	received := uint64(0)
+	for {
+		body, rbuf, err = readFrame(sb.conn, rbuf)
+		if err != nil {
+			return fmt.Errorf("replication: bootstrap: %w", err)
+		}
+		if body[0] == ftSnapEnd {
+			break
+		}
+		if len(body) < 9 || body[0] != ftSnapChunk {
+			return errors.New("replication: expected snapshot chunk frame")
+		}
+		off := binary.LittleEndian.Uint64(body[1:])
+		data := body[9:]
+		if off != received || off+uint64(len(data)) > total {
+			return fmt.Errorf("replication: snapshot chunk at %d out of order (have %d of %d)",
+				off, received, total)
+		}
+		copy(snap[off:], data)
+		received += uint64(len(data))
+	}
+	if received != total {
+		return fmt.Errorf("replication: snapshot ended at %d of %d bytes", received, total)
+	}
+	e, err := engine.OpenStandby(sb.opts, nextTick, snap)
+	if err != nil {
+		return err
+	}
+	sb.mu.Lock()
+	sb.e = e
+	sb.stats.StartTick = nextTick
+	sb.stats.SnapshotBytes = int64(total)
+	if nextTick > 0 {
+		sb.stats.Applied, sb.stats.HasApplied = nextTick-1, true
+	}
+	sb.mu.Unlock()
+	close(sb.ready)
+	// Acknowledge the bootstrap: the snapshot covers every tick below
+	// nextTick and is durably persisted as the standby's first checkpoint
+	// image, so the shipper's ack watermark starts fully covered — a
+	// caught-up standby is observable even when nothing streams.
+	if nextTick > 0 {
+		if scratch, err = writeFrame(sb.conn, scratch, u64Frame(ftAck, nextTick-1)); err != nil {
+			return err
+		}
+	}
+
+	// The live stream: apply each complete tick frame through the engine
+	// (its own WAL append + checkpointer bookkeeping), then acknowledge.
+	// A read error at any byte position is the seal point — the partial
+	// frame (if any) is discarded and every fully applied tick stands.
+	for {
+		body, rbuf, err = readFrame(sb.conn, rbuf)
+		if err != nil {
+			return err // stream end: sealed at the last complete tick
+		}
+		if len(body) < 9 || body[0] != ftTick {
+			return fmt.Errorf("replication: unexpected frame type %d in stream", body[0])
+		}
+		tick := binary.LittleEndian.Uint64(body[1:])
+		if err := e.IngestReplicated(tick, body[9:]); err != nil {
+			return err
+		}
+		sb.mu.Lock()
+		sb.stats.TicksApplied++
+		sb.stats.Applied, sb.stats.HasApplied = tick, true
+		sb.mu.Unlock()
+		if scratch, err = writeFrame(sb.conn, scratch, u64Frame(ftAck, tick)); err != nil {
+			return err
+		}
+	}
+}
+
+// Ready is closed once the bootstrap snapshot is installed and the engine
+// is warm (streamed ticks may already be applying).
+func (sb *Standby) Ready() <-chan struct{} { return sb.ready }
+
+// Done is closed when the stream has ended — however it ended — and the
+// applier goroutine has sealed the engine at the last complete tick.
+func (sb *Standby) Done() <-chan struct{} { return sb.done }
+
+// Err returns the cause of the stream end (io.EOF / closed-connection
+// errors are the normal primary-death seal), or nil while streaming.
+func (sb *Standby) Err() error {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.err
+}
+
+// Stats returns a snapshot of the standby's progress counters.
+func (sb *Standby) Stats() StandbyStats {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.stats
+}
+
+// Promote fails the standby over: it cuts the stream if it is still alive,
+// waits for the applier to seal at the last complete tick, and promotes the
+// warm engine to a normal primary (ingested ticks synced durable, ApplyTick
+// enabled). The caller owns the returned engine — including closing it.
+// Promote is the warm path whose wall time the failovertime experiment
+// compares against cold checkpoint recovery.
+func (sb *Standby) Promote() (*engine.Engine, error) {
+	sb.conn.Close() //nolint:errcheck // cut the stream; idempotent
+	<-sb.done
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	switch sb.state {
+	case standbyPromoted:
+		return nil, errors.New("replication: standby already promoted")
+	case standbyClosed:
+		return nil, errors.New("replication: standby closed")
+	}
+	if sb.e == nil {
+		return nil, fmt.Errorf("replication: standby never bootstrapped: %w", sb.err)
+	}
+	if err := sb.e.Promote(); err != nil {
+		return nil, err
+	}
+	sb.state = standbyPromoted
+	return sb.e, nil
+}
+
+// Close abandons the standby without promoting: the stream is cut, the
+// applier joined, and the warm engine discarded. A promoted standby's
+// engine is the caller's; Close then only tidies the session.
+func (sb *Standby) Close() error {
+	sb.conn.Close() //nolint:errcheck
+	<-sb.done
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if sb.state == standbyRunning {
+		sb.state = standbyClosed
+		if sb.e != nil {
+			return sb.e.Close()
+		}
+	}
+	return nil
+}

@@ -2,9 +2,7 @@ package wal
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -78,8 +76,15 @@ func (r *Reader) Next() (tick uint64, payload []byte, err error) {
 			r.br = bufio.NewReaderSize(f, 1<<16)
 			r.off = 0
 		}
-		tick, payload, ok := r.readRecord()
+		tick, payload, size, ok, err := parseRecord(r.br)
+		if err != nil {
+			// A device read failure, not frame content: sticky, like
+			// sealed-segment corruption — never silently resume past it.
+			r.err = fmt.Errorf("wal: %w", err)
+			return 0, nil, r.err
+		}
 		if ok {
+			r.off += size
 			return tick, payload, nil
 		}
 		// The scan stopped short: clean end, torn tail, or corruption.
@@ -88,29 +93,6 @@ func (r *Reader) Next() (tick uint64, payload []byte, err error) {
 			return 0, nil, err
 		}
 	}
-}
-
-// readRecord parses one record, returning ok=false at a clean EOF, torn
-// tail, or corruption (finishSegment decides which of those is an error).
-func (r *Reader) readRecord() (tick uint64, payload []byte, ok bool) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-		return 0, nil, false // clean EOF or torn header
-	}
-	length := binary.LittleEndian.Uint32(hdr[0:])
-	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-	if length < 8 || length > maxRecordSize {
-		return 0, nil, false // corrupt length
-	}
-	body := make([]byte, length)
-	if _, err := io.ReadFull(r.br, body); err != nil {
-		return 0, nil, false // torn body
-	}
-	if crc32.ChecksumIEEE(body) != wantCRC {
-		return 0, nil, false // corrupt body
-	}
-	r.off += int64(8 + len(body))
-	return binary.LittleEndian.Uint64(body), body[8:], true
 }
 
 // finishSegment closes the open segment after its scan stopped, erroring if

@@ -167,6 +167,19 @@ func (l *Log) Append(tick uint64, payload []byte) error {
 	return nil
 }
 
+// Flush writes buffered records through to the active segment file without
+// fsyncing. It is the visibility barrier for tail-follow consumers: after
+// Flush, a TailReader sees every appended frame. Durability still comes
+// from Sync (or rotation/close).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.bw.Flush()
+}
+
 // Sync flushes buffered records and fsyncs the active segment.
 func (l *Log) Sync() error {
 	l.mu.Lock()
@@ -275,10 +288,46 @@ func (l *Log) Replay(from uint64, fn func(tick uint64, payload []byte) error) er
 	}
 }
 
+// parseRecord reads one CRC-framed record from r: the single source of
+// truth for the frame layout (u32 length | u32 crc | u64 tick | payload)
+// shared by the open-time scan, the batch Reader and the tail-follow
+// reader. ok=false with a nil error means no complete valid frame is there
+// — a torn tail or corruption; the caller decides which. A non-nil error
+// is a real device failure, never frame content (end-of-data conditions
+// map to ok=false).
+func parseRecord(r io.Reader) (tick uint64, payload []byte, size int64, ok bool, err error) {
+	var hdr [8]byte
+	if _, e := io.ReadFull(r, hdr[:]); e != nil {
+		return 0, nil, 0, false, readErr(e)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if length < 8 || length > maxRecordSize {
+		return 0, nil, 0, false, nil // corrupt length
+	}
+	body := make([]byte, length)
+	if _, e := io.ReadFull(r, body); e != nil {
+		return 0, nil, 0, false, readErr(e)
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return 0, nil, 0, false, nil // corrupt body
+	}
+	return binary.LittleEndian.Uint64(body), body[8:], int64(8) + int64(length), true, nil
+}
+
+// readErr keeps end-of-data out of the error channel: a short read at the
+// end of the data is a torn tail (frame content), not a device failure.
+func readErr(e error) error {
+	if e == io.EOF || e == io.ErrUnexpectedEOF {
+		return nil
+	}
+	return e
+}
+
 // scanSegment reads records from a segment, calling fn (if non-nil) for each
 // valid one. It returns the byte offset after the last valid record, the
 // last tick seen, and whether any record was seen. A torn or corrupt tail
-// simply ends the scan; errors from fn abort it.
+// simply ends the scan; device read failures and errors from fn abort it.
 func scanSegment(path string, fn func(uint64, []byte) error, _ int) (validLen int64, lastTick uint64, hasTick bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -287,30 +336,20 @@ func scanSegment(path string, fn func(uint64, []byte) error, _ int) (validLen in
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
 	var off int64
-	var hdr [8]byte
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return off, lastTick, hasTick, nil // clean EOF or torn header
+		tick, payload, size, ok, err := parseRecord(br)
+		if err != nil {
+			return off, lastTick, hasTick, fmt.Errorf("wal: %w", err)
 		}
-		length := binary.LittleEndian.Uint32(hdr[0:])
-		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
-		if length < 8 || length > maxRecordSize {
-			return off, lastTick, hasTick, nil // corrupt length: stop
+		if !ok {
+			return off, lastTick, hasTick, nil // clean EOF, torn or corrupt tail
 		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return off, lastTick, hasTick, nil // torn body
-		}
-		if crc32.ChecksumIEEE(body) != wantCRC {
-			return off, lastTick, hasTick, nil // corrupt body
-		}
-		tick := binary.LittleEndian.Uint64(body)
 		if fn != nil {
-			if err := fn(tick, body[8:]); err != nil {
+			if err := fn(tick, payload); err != nil {
 				return off, lastTick, hasTick, err
 			}
 		}
-		off += int64(8 + len(body))
+		off += size
 		lastTick = tick
 		hasTick = true
 	}

@@ -23,12 +23,15 @@
 package repro
 
 import (
+	"net"
+
 	"repro/internal/checkpoint"
 	"repro/internal/costmodel"
 	"repro/internal/engine"
 	"repro/internal/game"
 	"repro/internal/gamestate"
 	"repro/internal/recovery"
+	"repro/internal/replication"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -168,4 +171,32 @@ func OpenEngine(opts EngineOptions) (*Engine, error) { return engine.Open(opts) 
 // replay, gated by per-shard restore watermarks.
 func RecoverEngine(opts EngineOptions) (*Engine, ParallelRecoveryResult, error) {
 	return engine.RecoverFrom(opts)
+}
+
+// Shipper streams a primary engine to one warm standby: a bootstrap
+// checkpoint snapshot, then live tick records tail-followed from the
+// engine's logical log, with a bounded number of in-flight ticks.
+type Shipper = replication.Shipper
+
+// ShipperOptions configures a primary-side shipper (replay-lag budget).
+type ShipperOptions = replication.ShipperOptions
+
+// Standby mirrors a primary into its own engine directory and can be
+// promoted to primary when the stream dies.
+type Standby = replication.Standby
+
+// StartPrimary attaches a live WAL shipper to a running engine, streaming
+// a bootstrap snapshot and then every committed tick to the standby on
+// conn. Stop the shipper before closing the engine.
+func StartPrimary(e *Engine, conn net.Conn, opts ShipperOptions) (*Shipper, error) {
+	return replication.StartShipper(e, conn, opts)
+}
+
+// StartStandby opens a warm standby in opts.Dir (which must be fresh),
+// bootstrapped and then continuously fed from the primary on the other end
+// of conn. When the primary dies, Promote seals the stream at the last
+// complete tick and returns the engine, byte-identical to what crash
+// recovery of the primary would have produced.
+func StartStandby(opts EngineOptions, conn net.Conn) (*Standby, error) {
+	return replication.StartStandby(opts, conn)
 }

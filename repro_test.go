@@ -1,7 +1,10 @@
 package repro
 
 import (
+	"bytes"
+	"net"
 	"testing"
+	"time"
 )
 
 // smallSimConfig scales the default down for fast facade tests.
@@ -117,5 +120,63 @@ func TestFacadeGameTrace(t *testing.T) {
 	}
 	if stats.Units != 2000 || stats.Attrs != 13 {
 		t.Errorf("stats: %+v", stats)
+	}
+}
+
+// TestFacadeReplicationFailover drives the public replication API end to
+// end: primary → warm standby over a pipe → primary death → promotion,
+// with the promoted engine byte-identical to the primary's final state.
+func TestFacadeReplicationFailover(t *testing.T) {
+	tab := Table{Rows: 1024, Cols: 8, CellSize: 4, ObjSize: 512}
+	opts := func(dir string) EngineOptions {
+		return EngineOptions{Table: tab, Dir: dir, Mode: ModeCopyOnUpdate}
+	}
+	p, err := OpenEngine(opts(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	apply := func(from, to int) {
+		t.Helper()
+		for tick := from; tick < to; tick++ {
+			batch := []Update{{Cell: uint32(tick % tab.NumCells()), Value: uint32(tick) + 7}}
+			if err := p.ApplyTick(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	apply(0, 20)
+
+	pc, sc := net.Pipe()
+	sb, err := StartStandby(opts(t.TempDir()), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := StartPrimary(p, pc, ShipperOptions{MaxLagTicks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sb.Ready():
+	case <-sb.Done():
+		t.Fatalf("standby bootstrap failed: %v", sb.Err())
+	}
+	apply(20, 50)
+	if err := sh.AwaitAck(49, 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Stop(); err != nil {
+		t.Fatalf("shipper stream error: %v", err)
+	}
+	promoted, err := sb.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Close()
+	if promoted.NextTick() != 50 {
+		t.Fatalf("promoted at tick %d, want 50", promoted.NextTick())
+	}
+	if !bytes.Equal(promoted.Store().Slab(), p.Store().Slab()) {
+		t.Fatal("promoted standby differs from primary state")
 	}
 }
