@@ -8,9 +8,9 @@
 //
 // Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
 // fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
-// logging, ksafety, multiserver, sharding, recoverytime, failovertime, all.
-// Output is printed as aligned text tables; -out additionally writes CSV
-// files per figure.
+// logging, ksafety, multiserver, sharding, recoverytime, failovertime,
+// scenariobench, all. Output is printed as aligned text tables; -out
+// additionally writes CSV files per figure.
 //
 // -shards N runs the fig6 validation engine sharded (N apply workers and
 // checkpoint flushers); the sharding and recoverytime experiments sweep
@@ -19,6 +19,18 @@
 // a live primary→standby replication pair per point and reports warm
 // takeover vs cold recovery; -failover-updates/-lag/-shards pin single
 // values for its axes and -failover-log-ticks the crash-point log length.
+//
+// scenariobench sweeps workload scenario × checkpoint method × shard count
+// across apply, checkpoint, cold recovery and warm failover, verifying
+// byte identity per cell, and writes a machine-readable report to
+// -bench-out (default BENCH_scenarios.json). -bench-scenarios trims the
+// scenario axis and -bench-disk overrides its backup throttle (reports
+// with different throttles are not comparable, so the gate refuses
+// them). -gate compares the fresh report against the committed
+// -bench-baseline within -gate-tolerance and exits non-zero on regression
+// (the CI perf gate). Intentional perf changes refresh the baseline with:
+//
+//	experiments -exp scenariobench -scale quick -write-baseline
 package main
 
 import (
@@ -50,6 +62,13 @@ func main() {
 		foLag     = flag.Int("failover-lag", 0, "single failovertime replay-lag budget (0 = default sweep)")
 		foShards  = flag.Int("failover-shards", 0, "single failovertime shard count (0 = default sweep)")
 		foCheck   = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
+		benchScen = flag.String("bench-scenarios", "", "comma-separated scenariobench scenario filter (empty = all registered scenarios)")
+		benchDisk = flag.Float64("bench-disk", 0, "scenariobench backup throttle in bytes/sec (0 = bench default: 10x the scale's paper disk, <0 = unthrottled); changing it makes reports incomparable with the committed baseline")
+		benchOut  = flag.String("bench-out", "BENCH_scenarios.json", "scenariobench report path")
+		benchBase = flag.String("bench-baseline", "bench_baseline.json", "scenariobench committed baseline path")
+		writeBase = flag.Bool("write-baseline", false, "scenariobench: also write the report to -bench-baseline (the documented baseline update path)")
+		gate      = flag.Bool("gate", false, "scenariobench: compare the fresh report against -bench-baseline and exit non-zero on regression")
+		gateTol   = flag.Float64("gate-tolerance", experiments.DefaultGateTolerance, "scenariobench gate: relative regression band on throughput and recovery time")
 	)
 	flag.Parse()
 
@@ -72,7 +91,9 @@ func main() {
 
 	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot,
 		shards: *shards, recLog: *recLog, recDisk: *recDisk,
-		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck}
+		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck,
+		benchScen: *benchScen, benchDisk: *benchDisk, benchOut: *benchOut, benchBase: *benchBase,
+		writeBase: *writeBase, gate: *gate, gateTol: *gateTol}
 
 	if want("table1") || want("table2") {
 		r.tables12()
@@ -122,6 +143,9 @@ func main() {
 	if want("failovertime") {
 		r.failovertime()
 	}
+	if want("scenariobench") {
+		r.scenariobench()
+	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
@@ -133,19 +157,26 @@ func fatalf(format string, args ...interface{}) {
 }
 
 type runner struct {
-	scale    experiments.Scale
-	seed     int64
-	outDir   string
-	gnuplot  bool
-	shards   int
-	recLog   int
-	recDisk  float64
-	foLog    int
-	foUpd    int
-	foLag    int
-	foShards int
-	foCheck  bool
-	ran      int
+	scale     experiments.Scale
+	seed      int64
+	outDir    string
+	gnuplot   bool
+	shards    int
+	recLog    int
+	recDisk   float64
+	foLog     int
+	foUpd     int
+	foLag     int
+	foShards  int
+	foCheck   bool
+	benchScen string
+	benchDisk float64
+	benchOut  string
+	benchBase string
+	writeBase bool
+	gate      bool
+	gateTol   float64
+	ran       int
 }
 
 func (r *runner) emit(name string, fig *metrics.Figure) {
@@ -385,6 +416,76 @@ func (r *runner) failovertime() {
 		if r.foCheck {
 			fmt.Printf("failover-check passed: warm takeover strictly below cold pipeline in all %d rows, all byte-identical\n",
 				len(ft.Rows))
+		}
+	})
+}
+
+func (r *runner) scenariobench() {
+	r.timed("scenariobench", func() {
+		var scens []string
+		if r.benchScen != "" {
+			for _, s := range strings.Split(r.benchScen, ",") {
+				if s = strings.TrimSpace(s); s != "" {
+					scens = append(scens, s)
+				}
+			}
+		}
+		rep, err := experiments.RunScenarioBench(r.scale, r.seed, experiments.ScenarioBenchOptions{
+			Scenarios:       scens,
+			DiskBytesPerSec: r.benchDisk,
+		})
+		if err != nil {
+			fatalf("scenariobench: %v", err)
+		}
+		r.emitTable("Scenario bench: workload × method × shards (apply / checkpoint / recovery / failover)",
+			rep.Table())
+		// Byte identity is unconditional: whatever the timings, a recovery
+		// path that reconstructs different bytes is corrupt.
+		for _, c := range rep.Cells {
+			if !c.Identical {
+				fatalf("scenariobench: %s/%s/shards=%d NOT byte-identical to the serial reference",
+					c.Scenario, c.Method, c.Shards)
+			}
+		}
+		fmt.Printf("crash equivalence: all %d cells byte-identical to the serial reference\n", len(rep.Cells))
+		if err := rep.WriteJSON(r.benchOut); err != nil {
+			fatalf("scenariobench: %v", err)
+		}
+		fmt.Printf("(report written to %s)\n", r.benchOut)
+		if r.writeBase {
+			if err := rep.WriteJSON(r.benchBase); err != nil {
+				fatalf("scenariobench: %v", err)
+			}
+			fmt.Printf("(baseline written to %s — commit it with your change)\n", r.benchBase)
+		}
+		if r.gate {
+			// Read the emitted file back so the gate also validates what CI
+			// archives, not just the in-memory report.
+			fresh, err := experiments.ReadBenchReport(r.benchOut)
+			if err != nil {
+				fatalf("perf-gate: %v", err)
+			}
+			base, err := experiments.ReadBenchReport(r.benchBase)
+			if err != nil {
+				fatalf("perf-gate: %v (regenerate with -write-baseline)", err)
+			}
+			res, err := experiments.CompareBench(base, fresh, r.gateTol)
+			if err != nil {
+				fatalf("perf-gate: %v", err)
+			}
+			r.emitTable(fmt.Sprintf("Perf gate: %s vs %s (tolerance %.0f%%)",
+				r.benchOut, r.benchBase, 100*r.gateTol), res.Delta)
+			for _, n := range res.Notes {
+				fmt.Printf("note: %s\n", n)
+			}
+			if len(res.Violations) > 0 {
+				for _, v := range res.Violations {
+					fmt.Fprintf(os.Stderr, "perf-gate: REGRESSION: %s\n", v)
+				}
+				fatalf("perf-gate: %d regression(s) beyond the %.0f%% band; if intentional, refresh the baseline:\n  go run ./cmd/experiments -exp scenariobench -scale %s -write-baseline",
+					len(res.Violations), 100*r.gateTol, r.scale)
+			}
+			fmt.Printf("perf-gate passed: %d cells within the %.0f%% band\n", len(base.Cells), 100*r.gateTol)
 		}
 	})
 }

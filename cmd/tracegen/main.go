@@ -1,34 +1,39 @@
 // Command tracegen generates update traces in the binary trace format: the
-// synthetic Zipfian workloads of Table 4 or a recording of the Knights and
-// Archers prototype game server (Table 5).
+// synthetic Zipfian workloads of Table 4, a recording of the Knights and
+// Archers prototype game server (Table 5), or any registered workload
+// scenario (login storms, raids, zone migration, flash crowds, …).
 //
 // Usage:
 //
 //	tracegen -kind zipf -updates 64000 -skew 0.8 -ticks 1000 -out zipf.trace
 //	tracegen -kind game -units 400128 -ticks 1000 -out battle.trace
+//	tracegen -kind scenario -scenario raid -updates 64000 -ticks 1000 -out raid.trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/game"
 	"repro/internal/gamestate"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		kind    = flag.String("kind", "zipf", "zipf or game")
-		out     = flag.String("out", "", "output file (required)")
-		ticks   = flag.Int("ticks", 1000, "number of ticks")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		updates = flag.Int("updates", 64000, "zipf: updates per tick")
-		skew    = flag.Float64("skew", 0.8, "zipf: skew in [0,1)")
-		rows    = flag.Int("rows", 1_000_000, "zipf: table rows")
-		cols    = flag.Int("cols", 10, "zipf: table columns")
-		units   = flag.Int("units", 400_128, "game: number of units")
+		kind     = flag.String("kind", "zipf", "zipf, game or scenario")
+		out      = flag.String("out", "", "output file (required)")
+		ticks    = flag.Int("ticks", 1000, "number of ticks")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		updates  = flag.Int("updates", 64000, "zipf/scenario: baseline updates per tick")
+		skew     = flag.Float64("skew", 0.8, "zipf/scenario: skew in [0,1)")
+		rows     = flag.Int("rows", 1_000_000, "zipf/scenario: table rows")
+		cols     = flag.Int("cols", 10, "zipf/scenario: table columns")
+		units    = flag.Int("units", 400_128, "game: number of units")
+		scenario = flag.String("scenario", "", "scenario: workload name, one of "+strings.Join(workload.Names(), ", "))
 	)
 	flag.Parse()
 	if *out == "" {
@@ -59,8 +64,24 @@ func main() {
 		}
 		fmt.Printf("game: %s\n", stats)
 		src = mem
+	case "scenario":
+		if *scenario == "" {
+			fatal(fmt.Errorf("-kind scenario requires -scenario (one of %s)",
+				strings.Join(workload.Names(), ", ")))
+		}
+		w, err := workload.New(*scenario, workload.Config{
+			Table:          gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512},
+			UpdatesPerTick: *updates,
+			Ticks:          *ticks,
+			Skew:           *skew,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		src = w
 	default:
-		fatal(fmt.Errorf("unknown kind %q (zipf|game)", *kind))
+		fatal(fmt.Errorf("unknown kind %q (zipf|game|scenario)", *kind))
 	}
 
 	f, err := os.Create(*out)

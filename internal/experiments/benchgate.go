@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/metrics"
+)
+
+// The perf gate: CI runs scenariobench at quick scale, writes
+// BENCH_scenarios.json, and diffs it against the committed
+// bench_baseline.json. A cell regresses when tick-apply throughput falls
+// more than the tolerance below baseline or recovery time rises more than
+// the tolerance above it; corruption (a failed byte-identity check) and
+// cells that vanished from the sweep fail outright. Cells whose baseline
+// measurement is too small to time reliably are excluded from the perf
+// comparison (still shown in the delta table as "-").
+//
+// The throughput comparison is deliberately asymmetric: the rerun's *best*
+// repeat is held against the baseline's *typical* (median) repeat. On
+// small or shared hosts sharded apply timing is bimodal (scheduler mode
+// flapping); a genuine code regression slows every repeat, so the best
+// rerun still falls out of the band, while an unlucky scheduling mode in
+// one or two repeats cannot fake a regression.
+//
+// Intentional perf changes update the baseline with the make-free path:
+//
+//	go run ./cmd/experiments -exp scenariobench -scale quick -write-baseline
+//
+// and commit the resulting bench_baseline.json alongside the change.
+
+// DefaultGateTolerance is the relative regression band the CI gate uses.
+const DefaultGateTolerance = 0.25
+
+// Floors below which a baseline measurement is considered noise rather
+// than signal: such cells are informational, never gating.
+const (
+	minGateTickApplyMs = 0.2  // median per-tick apply wall behind the throughput number
+	minGateRecoveryMs  = 10.0 // cold recovery wall
+)
+
+// WriteJSON writes the report, indented, with a trailing newline (so the
+// committed baseline diffs cleanly).
+func (r *BenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchReport loads and structurally validates a report.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: %s is not a valid report: %w", path, err)
+	}
+	if r.Schema != benchSchema {
+		return nil, fmt.Errorf("benchgate: %s has schema %d, want %d", path, r.Schema, benchSchema)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("benchgate: %s has no cells", path)
+	}
+	return &r, nil
+}
+
+// benchKey identifies a cell across reports.
+type benchKey struct {
+	Scenario string
+	Method   string
+	Shards   int
+}
+
+// GateResult is the outcome of a baseline comparison.
+type GateResult struct {
+	// Delta is the human-readable per-cell comparison table.
+	Delta *metrics.TextTable
+	// Violations lists every gating failure; empty means the gate passes.
+	Violations []string
+	// Notes are informational (host mismatch, below-floor skips).
+	Notes []string
+}
+
+// CompareBench diffs current against baseline with the given relative
+// tolerance. It returns an error only when the reports are not comparable
+// (different schema/config); regressions are reported as Violations.
+func CompareBench(baseline, current *BenchReport, tol float64) (*GateResult, error) {
+	if tol <= 0 {
+		tol = DefaultGateTolerance
+	}
+	if !reflect.DeepEqual(baseline.Config, current.Config) {
+		return nil, fmt.Errorf("benchgate: reports are not comparable: baseline config %+v, current %+v",
+			baseline.Config, current.Config)
+	}
+	res := &GateResult{Delta: metrics.NewTextTable()}
+	if baseline.NumCPU != current.NumCPU || baseline.GoMaxProcs != current.GoMaxProcs {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"host mismatch: baseline ran on %d CPUs (GOMAXPROCS %d), current on %d (GOMAXPROCS %d) — timings may not be comparable",
+			baseline.NumCPU, baseline.GoMaxProcs, current.NumCPU, current.GoMaxProcs))
+	}
+	cur := make(map[benchKey]*BenchCell, len(current.Cells))
+	for i := range current.Cells {
+		c := &current.Cells[i]
+		cur[benchKey{c.Scenario, c.Method, c.Shards}] = c
+	}
+
+	res.Delta.Header("scenario", "method", "shards",
+		"apply Mupd/s (base)", "(cur)", "Δ%", "recovery ms (base)", "(cur)", "Δ%", "status")
+	pct := func(delta float64) string { return fmt.Sprintf("%+.1f", 100*delta) }
+	matched := 0
+	for _, b := range baseline.Cells {
+		key := benchKey{b.Scenario, b.Method, b.Shards}
+		c, ok := cur[key]
+		if !ok {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"%s/%s/shards=%d: cell missing from current run", b.Scenario, b.Method, b.Shards))
+			res.Delta.Row(b.Scenario, b.Method, fmt.Sprint(b.Shards),
+				fmt.Sprintf("%.2f", b.ApplyUpdatesPerSec/1e6), "-", "-",
+				fmt.Sprintf("%.2f", b.RecoveryMs), "-", "-", "MISSING")
+			continue
+		}
+		matched++
+		status := "ok"
+		if !c.Identical {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"%s/%s/shards=%d: byte-identity check FAILED (corruption, not a perf question)",
+				b.Scenario, b.Method, b.Shards))
+			status = "CORRUPT"
+		}
+
+		applyDelta := "-"
+		gateApply := b.TickApplyMs >= minGateTickApplyMs && b.ApplyUpdatesPerSec > 0
+		if gateApply {
+			d := c.ApplyUpdatesPerSec/b.ApplyUpdatesPerSec - 1
+			applyDelta = pct(d)
+			curBest := c.ApplyBest
+			if curBest == 0 {
+				curBest = c.ApplyUpdatesPerSec
+			}
+			if db := curBest/b.ApplyUpdatesPerSec - 1; db < -tol {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"%s/%s/shards=%d: apply throughput regressed %.1f%% (typical %.2f → best-of-%d %.2f Mupd/s, tolerance %.0f%%)",
+					b.Scenario, b.Method, b.Shards, -100*db,
+					b.ApplyUpdatesPerSec/1e6, benchApplyRepeats, curBest/1e6, 100*tol))
+				if status == "ok" {
+					status = "REGRESS"
+				}
+			}
+		}
+		recDelta := "-"
+		gateRec := b.RecoveryMs >= minGateRecoveryMs
+		if gateRec {
+			d := c.RecoveryMs/b.RecoveryMs - 1
+			recDelta = pct(d)
+			if d > tol {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"%s/%s/shards=%d: recovery time regressed %.1f%% (%.2f → %.2f ms, tolerance %.0f%%)",
+					b.Scenario, b.Method, b.Shards, 100*d, b.RecoveryMs, c.RecoveryMs, 100*tol))
+				if status == "ok" {
+					status = "REGRESS"
+				}
+			}
+		}
+		if !gateApply && !gateRec && status == "ok" {
+			status = "ok (below floor)"
+		}
+		res.Delta.Row(b.Scenario, b.Method, fmt.Sprint(b.Shards),
+			fmt.Sprintf("%.2f", b.ApplyUpdatesPerSec/1e6), fmt.Sprintf("%.2f", c.ApplyUpdatesPerSec/1e6), applyDelta,
+			fmt.Sprintf("%.2f", b.RecoveryMs), fmt.Sprintf("%.2f", c.RecoveryMs), recDelta,
+			status)
+	}
+	if extra := len(current.Cells) - matched; extra > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"current run has %d cell(s) absent from the baseline (new scenario?) — regenerate the baseline to start gating them", extra))
+	}
+	return res, nil
+}
