@@ -9,8 +9,8 @@
 // Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
 // fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
 // logging, ksafety, multiserver, sharding, recoverytime, failovertime,
-// scenariobench, all. Output is printed as aligned text tables; -out
-// additionally writes CSV files per figure.
+// scenariobench, clusterbench, all. Output is printed as aligned text
+// tables; -out additionally writes CSV files per figure.
 //
 // -shards N runs the fig6 validation engine sharded (N apply workers and
 // checkpoint flushers); the sharding and recoverytime experiments sweep
@@ -31,6 +31,13 @@
 // (the CI perf gate). Intentional perf changes refresh the baseline with:
 //
 //	experiments -exp scenariobench -scale quick -write-baseline
+//
+// clusterbench runs the real multi-node cluster (internal/cluster) through
+// scenario × cluster size: synchronized tick overhead, coordinated world
+// checkpoints, whole-world parallel recovery, and live partition migration
+// with a zero-blackout check and per-cell byte identity against a
+// single-node reference. -cluster-scenarios and -cluster-sizes trim the
+// sweep. It is the measured successor of the analytical multiserver model.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +70,8 @@ func main() {
 		foLag     = flag.Int("failover-lag", 0, "single failovertime replay-lag budget (0 = default sweep)")
 		foShards  = flag.Int("failover-shards", 0, "single failovertime shard count (0 = default sweep)")
 		foCheck   = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
+		clustScen = flag.String("cluster-scenarios", "", "comma-separated clusterbench scenario filter (empty = hotspot,migration,flashcrowd)")
+		clustSize = flag.String("cluster-sizes", "", "comma-separated clusterbench node counts (empty = 1,2,4)")
 		benchScen = flag.String("bench-scenarios", "", "comma-separated scenariobench scenario filter (empty = all registered scenarios)")
 		benchDisk = flag.Float64("bench-disk", 0, "scenariobench backup throttle in bytes/sec (0 = bench default: 10x the scale's paper disk, <0 = unthrottled); changing it makes reports incomparable with the committed baseline")
 		benchOut  = flag.String("bench-out", "BENCH_scenarios.json", "scenariobench report path")
@@ -92,6 +102,7 @@ func main() {
 	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot,
 		shards: *shards, recLog: *recLog, recDisk: *recDisk,
 		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck,
+		clustScen: *clustScen, clustSize: *clustSize,
 		benchScen: *benchScen, benchDisk: *benchDisk, benchOut: *benchOut, benchBase: *benchBase,
 		writeBase: *writeBase, gate: *gate, gateTol: *gateTol}
 
@@ -146,6 +157,9 @@ func main() {
 	if want("scenariobench") {
 		r.scenariobench()
 	}
+	if want("clusterbench") {
+		r.clusterbench()
+	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
@@ -169,6 +183,8 @@ type runner struct {
 	foLag     int
 	foShards  int
 	foCheck   bool
+	clustScen string
+	clustSize string
 	benchScen string
 	benchDisk float64
 	benchOut  string
@@ -353,6 +369,53 @@ func (r *runner) multiserver() {
 		r.emit("extension-multiserver-recovery", &ms.Recovery)
 		r.emit("extension-multiserver-overhead", &ms.TickOverhead)
 		r.emit("extension-multiserver-imbalance", &ms.Imbalance)
+		fmt.Println("note: multiserver is the cost-model analysis; " +
+			"-exp clusterbench measures the same quantities on the real internal/cluster deployment")
+	})
+}
+
+func (r *runner) clusterbench() {
+	r.timed("clusterbench", func() {
+		split := func(s string) []string {
+			var out []string
+			for _, v := range strings.Split(s, ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		var sizes []int
+		for _, v := range split(r.clustSize) {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				fatalf("clusterbench: bad -cluster-sizes entry %q", v)
+			}
+			sizes = append(sizes, n)
+		}
+		cb, err := experiments.RunClusterBench(r.scale, r.seed, experiments.ClusterBenchOptions{
+			Scenarios: split(r.clustScen),
+			Sizes:     sizes,
+		})
+		if err != nil {
+			fatalf("clusterbench: %v", err)
+		}
+		r.emitTable("Cluster bench: scenario × nodes (synchronized ticks / coordinated cut / whole-world recovery / migration)",
+			cb.Table())
+		r.emit("clusterbench-tick", &cb.Tick)
+		r.emit("clusterbench-recovery", &cb.Recovery)
+		// Zero-blackout is enforced per cell inside RunClusterBench (a
+		// nonzero count fails the cell); only identity is checked here.
+		for _, row := range cb.Rows {
+			if !row.Identical {
+				fatalf("clusterbench: %s/nodes=%d NOT byte-identical to the single-node reference",
+					row.Scenario, row.Nodes)
+			}
+		}
+		fmt.Printf("cluster crash equivalence: all %d rows byte-identical to the single-node reference, zero migration blackout\n",
+			len(cb.Rows))
+		fmt.Println("note: clusterbench measures the real internal/cluster subsystem; " +
+			"-exp multiserver is its analytical cost-model companion")
 	})
 }
 

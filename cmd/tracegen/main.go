@@ -69,6 +69,10 @@ func main() {
 			fatal(fmt.Errorf("-kind scenario requires -scenario (one of %s)",
 				strings.Join(workload.Names(), ", ")))
 		}
+		if !workload.Registered(*scenario) {
+			fatal(fmt.Errorf("unknown scenario %q; registered scenarios: %s",
+				*scenario, strings.Join(workload.Names(), ", ")))
+		}
 		w, err := workload.New(*scenario, workload.Config{
 			Table:          gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512},
 			UpdatesPerTick: *updates,

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/gamestate"
+	"repro/internal/wal"
+)
+
+// Options configures a cluster of in-process nodes.
+type Options struct {
+	// Table is the world geometry every node shares. Each node runs a full
+	// engine over it but applies (and logs) only the updates of objects it
+	// owns, so a node's WAL and checkpoint images cover exactly its
+	// partition's history.
+	Table gamestate.Table
+	// Dir is the cluster root: node i lives in Dir/node-i, the manifest in
+	// Dir/cluster.json.
+	Dir string
+	// Mode is every node's checkpoint method.
+	Mode engine.Mode
+	// Nodes is the requested node count; like the engine's shard plan the
+	// request is rounded down to a power of two, every node's span is a
+	// power-of-two number of objects, and small or ragged worlds fold to
+	// fewer nodes (the effective count is len(Cluster.Nodes())).
+	Nodes int
+	// Shards is each node's engine shard count (default 1: the cluster is
+	// the parallelism axis under test; node-internal sharding composes).
+	Shards int
+	// DiskBytesPerSec throttles each node's backup devices.
+	DiskBytesPerSec float64
+	// SyncEveryTick fsyncs each node's log every tick.
+	SyncEveryTick bool
+	// ReplayAction interprets action payloads, both live (TickActions) and
+	// during node recovery. Required if TickActions is used.
+	ReplayAction engine.ReplayActionFunc
+}
+
+// Node is one cluster member: a full engine plus its place in the world.
+type Node struct {
+	Index int
+	Dir   string
+	E     *engine.Engine
+}
+
+// Cluster is a tick-synchronized multi-node world. One coordinating
+// goroutine drives it: Tick routes a tick's updates to their owner nodes,
+// fans the per-node batches out to one persistent apply worker per node,
+// and joins them — the tick barrier. No node ever starts tick T+1 before
+// every node has applied T, which is what makes a cut at a tick boundary
+// globally consistent by construction.
+type Cluster struct {
+	opts    Options
+	table   gamestate.Table
+	nodes   []*Node
+	routing *Routing
+	tick    uint64
+
+	cellsPerObj uint32
+	perNode     [][]wal.Update
+	work        []chan []wal.Update
+	errs        []error
+	wg          sync.WaitGroup
+
+	mig    *Migration
+	closed bool
+
+	// barrierLog, when non-nil, records (tick, node) apply completions for
+	// the barrier-ordering test.
+	barrierLog func(tick uint64, node int)
+}
+
+// New creates a fresh cluster: N empty node directories under opts.Dir, a
+// uniform partition map, and the initial manifest.
+func New(opts Options) (*Cluster, error) {
+	if err := opts.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("cluster: Dir required")
+	}
+	m := Uniform(opts.Table.NumObjects(), opts.Nodes)
+	routing, err := NewRouting(m, 0)
+	if err != nil {
+		return nil, err
+	}
+	c, err := build(opts, routing, 0, func(i int, dir string) (*engine.Engine, error) {
+		return engine.Open(nodeEngineOptions(opts, dir))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeManifest(nil); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// nodeEngineOptions is the per-node engine configuration.
+func nodeEngineOptions(opts Options, dir string) engine.Options {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	return engine.Options{
+		Table: opts.Table, Dir: dir, Mode: opts.Mode, Shards: shards,
+		DiskBytesPerSec: opts.DiskBytesPerSec, SyncEveryTick: opts.SyncEveryTick,
+		ReplayAction: opts.ReplayAction,
+	}
+}
+
+// build assembles a Cluster around an open function (fresh Open for New,
+// RecoverFrom for Recover), one node per partition-map member.
+func build(opts Options, routing *Routing, tick uint64,
+	open func(i int, dir string) (*engine.Engine, error)) (*Cluster, error) {
+	m := routing.Current()
+	c := &Cluster{
+		opts:        opts,
+		table:       opts.Table,
+		routing:     routing,
+		tick:        tick,
+		cellsPerObj: uint32(opts.Table.CellsPerObject()),
+		perNode:     make([][]wal.Update, m.NumNodes),
+		work:        make([]chan []wal.Update, m.NumNodes),
+		errs:        make([]error, m.NumNodes),
+	}
+	for i := 0; i < m.NumNodes; i++ {
+		dir := NodeDir(opts.Dir, i)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		e, err := open(i, dir)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &Node{Index: i, Dir: dir, E: e})
+	}
+	for i := range c.work {
+		ch := make(chan []wal.Update, 1)
+		c.work[i] = ch
+		go func(i int, ch <-chan []wal.Update) {
+			for batch := range ch {
+				err := c.nodes[i].E.ApplyTickParallel(batch)
+				c.errs[i] = err
+				if c.barrierLog != nil && err == nil {
+					c.barrierLog(c.tick, i)
+				}
+				c.wg.Done()
+			}
+		}(i, ch)
+	}
+	return c, nil
+}
+
+// NodeDir returns node i's directory under a cluster root.
+func NodeDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("node-%d", i))
+}
+
+// Nodes returns the cluster members.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Routing returns the live ownership history.
+func (c *Cluster) Routing() *Routing { return c.routing }
+
+// NextTick returns the tick the next Tick call will apply. Every node's
+// engine agrees (the barrier invariant).
+func (c *Cluster) NextTick() uint64 { return c.tick }
+
+// Table returns the world geometry.
+func (c *Cluster) Table() gamestate.Table { return c.table }
+
+// Tick applies one world tick: route the batch by ownership at this tick,
+// apply on every node in parallel, and return only when all nodes have
+// applied it (the barrier). When a migration is in flight, the moving
+// range's updates are additionally streamed to the acquiring node's staging
+// buffer after the barrier.
+func (c *Cluster) Tick(batch []wal.Update) error {
+	if c.closed {
+		return errors.New("cluster: closed")
+	}
+	m := c.routing.MapAt(c.tick)
+	c.perNode = RouteTick(m, c.cellsPerObj, batch, c.perNode)
+	c.wg.Add(len(c.work))
+	for i, ch := range c.work {
+		ch <- c.perNode[i]
+	}
+	c.wg.Wait()
+	for i, err := range c.errs {
+		if err != nil {
+			return fmt.Errorf("cluster: node %d tick %d: %w", i, c.tick, err)
+		}
+	}
+	tick := c.tick
+	c.tick++
+	if c.mig != nil {
+		if err := c.mig.feed(tick, batch); err != nil {
+			return fmt.Errorf("cluster: migration at tick %d: %w", tick, err)
+		}
+	}
+	return nil
+}
+
+// TickActions applies one world tick of opaque action payloads, one per
+// node (a nil entry means that node ticks with an empty update batch, so
+// tick counters stay aligned across the cluster). This is the action half
+// of the router's fan-out: the caller decomposes a world action into
+// per-owner payloads, and a node's payload must only write cells of
+// objects that node owns at this tick — each node logs and replays its own
+// payload through Options.ReplayAction, exactly like a single-node action
+// log. All nodes apply before the call returns, preserving the barrier.
+//
+// Actions cannot run while a migration is in flight: the migration streams
+// the moving range's *updates* into the staging buffer, and an opaque
+// payload's writes to that range would be invisible to the stream — the
+// cutover install would silently lose them. Finish (or do not start) the
+// migration around action ticks; the call fails rather than diverging.
+func (c *Cluster) TickActions(payloads [][]byte) error {
+	if c.closed {
+		return errors.New("cluster: closed")
+	}
+	if c.mig != nil {
+		return errors.New("cluster: actions are not supported while a migration is in flight (an opaque payload's writes to the moving range cannot be streamed to the staging buffer)")
+	}
+	if len(payloads) != len(c.nodes) {
+		return fmt.Errorf("cluster: %d action payloads for %d nodes", len(payloads), len(c.nodes))
+	}
+	if c.opts.ReplayAction == nil {
+		return errors.New("cluster: TickActions requires Options.ReplayAction")
+	}
+	tick := c.tick
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			if payloads[i] == nil {
+				errs[i] = n.E.ApplyTickParallel(nil)
+				return
+			}
+			p := payloads[i]
+			errs[i] = n.E.ApplyActionTick(p, func(w *engine.TickWriter) error {
+				return c.opts.ReplayAction(tick, p, w)
+			})
+		}(i, n)
+	}
+	wg.Wait() // the barrier: an action tick costs the slowest node, like Tick
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: node %d tick %d: %w", i, tick, err)
+		}
+	}
+	c.tick++
+	return nil
+}
+
+// CheckpointWorld performs a coordinated world checkpoint: the coordinator
+// picks the cut — the last applied tick — and every node checkpoints as-of
+// that exact tick, concurrently. Because ticks are synchronized, the
+// per-node images form one globally consistent world state; the manifest
+// records the cut and each image's identity so whole-world recovery knows
+// what it is restoring.
+func (c *Cluster) CheckpointWorld() (*Manifest, error) {
+	if c.closed {
+		return nil, errors.New("cluster: closed")
+	}
+	if c.tick == 0 {
+		return nil, errors.New("cluster: no ticks applied")
+	}
+	cut := c.tick - 1
+	infos := make([]engine.CheckpointInfo, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			infos[i], errs[i] = n.E.CheckpointAsOf(cut)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d checkpoint: %w", i, err)
+		}
+	}
+	images := make([]ImageID, len(infos))
+	for i, info := range infos {
+		images[i] = ImageID{Epoch: info.Epoch, AsOfTick: info.AsOfTick}
+	}
+	wc := &WorldCheckpoint{CutTick: cut, Images: images}
+	if err := c.writeManifest(wc); err != nil {
+		return nil, err
+	}
+	return c.manifest(wc), nil
+}
+
+// ReadWorld assembles the world state into dst (StateBytes() long): each
+// node contributes exactly the ranges it owns under the current map. It is
+// the merge the per-cell equivalence harness compares against a single-node
+// reference.
+func (c *Cluster) ReadWorld(dst []byte) error {
+	want := int(c.table.StateBytes())
+	if len(dst) != want {
+		return fmt.Errorf("cluster: world buffer %d bytes, want %d", len(dst), want)
+	}
+	m := c.routing.Current()
+	sz := c.table.ObjSize
+	for i, n := range c.nodes {
+		slab := n.E.Store().Slab()
+		for _, r := range m.NodeRanges(i) {
+			copy(dst[r.Lo*sz:r.Hi*sz], slab[r.Lo*sz:r.Hi*sz])
+		}
+	}
+	return nil
+}
+
+// Close aborts any in-flight migration, stops the apply workers and closes
+// every node engine.
+func (c *Cluster) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.mig != nil {
+		c.mig.abort()
+		c.mig = nil
+	}
+	for _, ch := range c.work {
+		if ch != nil { // build() may Close before the workers exist
+			close(ch)
+		}
+	}
+	var first error
+	for _, n := range c.nodes {
+		if err := n.E.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

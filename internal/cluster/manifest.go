@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gamestate"
+	"repro/internal/recovery"
+)
+
+// manifestName is the cluster metadata file under the cluster root.
+const manifestName = "cluster.json"
+
+// ImageID identifies one node's checkpoint image in a coordinated cut.
+type ImageID struct {
+	Epoch    uint64 `json:"epoch"`
+	AsOfTick uint64 `json:"as_of_tick"`
+}
+
+// WorldCheckpoint records one coordinated cut: every node holds a complete
+// image as-of exactly CutTick, so the per-node images together are one
+// consistent world state — consistency is by construction of synchronized
+// ticks, the manifest just proves which images belong to the cut.
+type WorldCheckpoint struct {
+	CutTick uint64    `json:"cut_tick"`
+	Images  []ImageID `json:"images"`
+}
+
+// Manifest is the durable cluster metadata: the world geometry, the current
+// partition map (and the tick it took effect), and the newest coordinated
+// checkpoint. It is rewritten atomically at creation, at every migration
+// cutover, and at every world checkpoint — the three events that change
+// what recovery needs to know.
+type Manifest struct {
+	Table       gamestate.Table  `json:"table"`
+	Map         PartitionMap     `json:"map"`
+	MapFromTick uint64           `json:"map_from_tick"`
+	Checkpoint  *WorldCheckpoint `json:"checkpoint,omitempty"`
+}
+
+// manifest assembles the current manifest value.
+func (c *Cluster) manifest(wc *WorldCheckpoint) *Manifest {
+	last := c.routing.epochs[len(c.routing.epochs)-1]
+	return &Manifest{Table: c.table, Map: last.Map, MapFromTick: last.FromTick, Checkpoint: wc}
+}
+
+// writeManifest persists the manifest with an atomic rename, preserving any
+// previously recorded checkpoint when wc is nil.
+func (c *Cluster) writeManifest(wc *WorldCheckpoint) error {
+	if wc == nil {
+		if prev, err := ReadManifest(c.opts.Dir); err == nil {
+			wc = prev.Checkpoint
+		}
+	}
+	return WriteManifest(c.opts.Dir, c.manifest(wc))
+}
+
+// WriteManifest atomically replaces the manifest under root.
+func WriteManifest(root string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cluster: manifest: %w", err)
+	}
+	tmp := filepath.Join(root, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(root, manifestName)); err != nil {
+		return fmt.Errorf("cluster: manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads the manifest under root.
+func ReadManifest(root string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(root, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if err := m.Map.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WorldRecovery is the outcome of whole-world recovery: every node's
+// pipeline result plus the cluster-level wall time — which is the slowest
+// node's recovery, exactly the quantity the paper's Section 8 says gates a
+// multi-server world, here measured instead of modeled.
+type WorldRecovery struct {
+	// PerNode holds each node's parallel-pipeline breakdown.
+	PerNode []recovery.ParallelResult
+	// Wall is start → last node recovered (nodes recover concurrently).
+	Wall time.Duration
+	// WorldTick is the common tick every node recovered to.
+	WorldTick uint64
+}
+
+// Recover performs whole-world recovery of a crashed cluster under root:
+// every node restores its newest complete image and replays its own WAL
+// through the sharded parallel pipeline (recovery.RecoverParallel via
+// engine.RecoverFrom), all nodes concurrently. The recovered world is
+// consistent only if every node reached the same tick; a cluster that
+// crashed at a tick barrier (or whose nodes sync every tick) satisfies
+// that, and a skew — some node's WAL lost its tail — is reported as an
+// error naming the laggard rather than resuming a torn world.
+func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
+	man, err := ReadManifest(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Table != (gamestate.Table{}) && opts.Table != man.Table {
+		return nil, nil, fmt.Errorf("cluster: recover geometry %v does not match manifest %v", opts.Table, man.Table)
+	}
+	opts.Table = man.Table
+	opts.Dir = root
+	if opts.Nodes != 0 && opts.Nodes != man.Map.NumNodes {
+		return nil, nil, fmt.Errorf("cluster: recover with %d nodes, manifest has %d", opts.Nodes, man.Map.NumNodes)
+	}
+	opts.Nodes = man.Map.NumNodes
+
+	// Restore all partitions concurrently: each node runs its own sharded
+	// restore ∥ replay pipeline, and the world is back when the slowest
+	// node is.
+	n := man.Map.NumNodes
+	wr := &WorldRecovery{PerNode: make([]recovery.ParallelResult, n)}
+	engines := make([]*engine.Engine, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			engines[i], wr.PerNode[i], errs[i] = engine.RecoverFrom(nodeEngineOptions(opts, NodeDir(root, i)))
+		}(i)
+	}
+	wg.Wait()
+	wr.Wall = time.Since(start)
+	closeAll := func() {
+		for _, e := range engines {
+			if e != nil {
+				e.Close()
+			}
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("cluster: node %d recovery: %w", i, err)
+		}
+	}
+
+	// The barrier invariant must hold across the crash: one world tick.
+	common := engines[0].NextTick()
+	for i, e := range engines {
+		if e.NextTick() != common {
+			closeAll()
+			return nil, wr, fmt.Errorf("cluster: recovered world is torn: node 0 at tick %d, node %d at tick %d",
+				common, i, e.NextTick())
+		}
+	}
+	wr.WorldTick = common
+
+	routing := &Routing{epochs: []routingEpoch{{FromTick: man.MapFromTick, Map: man.Map}}}
+	c, err := build(opts, routing, common, func(i int, dir string) (*engine.Engine, error) {
+		return engines[i], nil
+	})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return c, wr, nil
+}

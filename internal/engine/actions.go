@@ -21,6 +21,7 @@ import (
 const (
 	recUpdates byte = 0 // payload: wal.EncodeUpdates batch
 	recAction  byte = 1 // payload: opaque application bytes
+	recInstall byte = 2 // payload: u64 lo, u64 hi, raw object bytes (range.go)
 )
 
 // TickWriter applies a tick's effects to the store through the
@@ -174,6 +175,8 @@ func (e *Engine) replayRecordRange(lo, hi int, tick uint64, body []byte, updBuf 
 			return w.applied, err
 		}
 		return w.applied, nil
+	case recInstall:
+		return e.replayInstall(payload, lo, hi)
 	default:
 		return 0, fmt.Errorf("engine: unknown log record kind %d at tick %d", kind, tick)
 	}

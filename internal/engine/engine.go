@@ -200,13 +200,25 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 		// for action ticks; bookkeeping is irrelevant here (everything is
 		// marked dirty after recovery), so a no-op stands in.
 		e.cp = newNop()
+		// Range-install records are logged at the tick *about to run* and
+		// must never count as evidence that tick ran (InstallRange), so the
+		// recovered next tick is derived from non-install records only —
+		// the generic recovery layer's lastTick+1 would overshoot by one
+		// when an install is the final record (crash right after a
+		// migration cutover, before its first tick).
 		var res recovery.Result
+		type ranTick struct {
+			tick uint64
+			saw  bool
+		}
+		var lastRun []ranTick
 		if parallel {
 			// The pipeline is partitioned exactly like the engine: one
 			// restore reader and one replay worker per shard, each owning
 			// its plan range of the slab.
 			ranges := make([]recovery.ShardRange, e.plan.count())
 			scratch := make([][]wal.Update, e.plan.count())
+			lastRun = make([]ranTick, e.plan.count())
 			for s := range ranges {
 				lo, hi := e.plan.objRange(s)
 				ranges[s] = recovery.ShardRange{Lo: lo, Hi: hi}
@@ -215,6 +227,9 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 				A: backups[0], B: backups[1], Slab: store.Slab(), Log: log,
 				Ranges: ranges,
 				Apply: func(shard int, tick uint64, body []byte) (int64, error) {
+					if len(body) > 0 && body[0] != recInstall {
+						lastRun[shard].tick, lastRun[shard].saw = tick, true
+					}
 					return e.replayRecordShard(shard, tick, body, &scratch[shard])
 				},
 			})
@@ -222,8 +237,12 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 		} else {
 			var updBuf []wal.Update
 			var replayed int64
+			lastRun = make([]ranTick, 1)
 			res, err = recovery.RunRecords(backups[0], backups[1], store.Slab(), log,
 				func(tick uint64, body []byte) error {
+					if len(body) > 0 && body[0] != recInstall {
+						lastRun[0].tick, lastRun[0].saw = tick, true
+					}
 					n, rerr := e.replayRecord(tick, body, &updBuf)
 					replayed += n
 					return rerr
@@ -234,6 +253,17 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 			log.Close()
 			return nil, pres, err
 		}
+		next := uint64(0)
+		if res.Restored {
+			next = res.AsOfTick + 1
+		}
+		for _, lr := range lastRun {
+			if lr.saw && lr.tick+1 > next {
+				next = lr.tick + 1
+			}
+		}
+		res.NextTick = next
+		pres.NextTick = next
 		e.recovered = res
 		e.tick = res.NextTick
 		startEpoch = res.Epoch
@@ -435,6 +465,28 @@ func (e *Engine) CheckpointNow() (CheckpointInfo, error) {
 			if err := e.cp.err(); err != nil {
 				return CheckpointInfo{}, fmt.Errorf("engine: checkpoint writer failed: %w", err)
 			}
+		}
+	}
+}
+
+// CheckpointAsOf blocks until a completed checkpoint image covers tick —
+// its AsOfTick at or past tick — and returns that checkpoint's info.
+// Checkpoints run back-to-back, so a single CheckpointNow may return a
+// flush that began ticks ago and is as-of an old tick; every caller that
+// needs "the image covers tick T" must loop until the returned AsOfTick
+// reaches the target, and this is that loop. tick must already have been
+// applied. It is the building block of the cluster's coordinated cuts: all
+// nodes CheckpointAsOf the same tick and the per-node images form a
+// globally consistent world checkpoint by construction of synchronized
+// ticks.
+func (e *Engine) CheckpointAsOf(tick uint64) (CheckpointInfo, error) {
+	if tick >= e.tick {
+		return CheckpointInfo{}, fmt.Errorf("engine: checkpoint as-of tick %d: only %d ticks applied", tick, e.tick)
+	}
+	for {
+		info, err := e.CheckpointNow()
+		if err != nil || info.AsOfTick >= tick {
+			return info, err
 		}
 	}
 }

@@ -244,11 +244,17 @@ func (e *Engine) IngestReplicated(tick uint64, body []byte) error {
 	if err := e.cp.err(); err != nil {
 		return fmt.Errorf("engine: checkpoint writer failed: %w", err)
 	}
+	if len(body) == 0 {
+		return fmt.Errorf("engine: empty replicated record at tick %d", tick)
+	}
 	if tick != e.tick {
 		return fmt.Errorf("engine: replication gap: got tick %d, want %d", tick, e.tick)
 	}
-	if len(body) == 0 {
-		return fmt.Errorf("engine: empty replicated record at tick %d", tick)
+	if body[0] == recInstall {
+		// A range install is logged at the primary's next tick but does not
+		// advance it (InstallRange); mirror that — the tick's regular
+		// record follows at the same tick number.
+		return e.ingestInstall(tick, body)
 	}
 	if e.log != nil {
 		if err := e.log.Append(tick, body); err != nil {

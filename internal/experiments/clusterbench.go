@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/gamestate"
+	"repro/internal/metrics"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// The cluster benchmark measures the multi-server quantities the paper's
+// Section 8 names and internal/experiments/multiserver.go only models
+// analytically — RunClusterBench supersedes that model with numbers from
+// the real internal/cluster subsystem (RunMultiServer remains its
+// analytical companion for what-if sweeps). Per (scenario, cluster size):
+//
+//   - synchronized tick overhead — the wall time of the barrier tick,
+//     i.e. the slowest node gates every tick, exactly the max-over-servers
+//     cost the model predicts;
+//   - coordinated world checkpoint — the wall of a cut at a common tick,
+//     every node CheckpointAsOf the same tick concurrently;
+//   - whole-world recovery — crash at a barrier, then every node restores
+//     its newest image and replays its own WAL in parallel
+//     (cluster.Recover); the wall is the slowest node's pipeline. Note the
+//     design point measured here: every node runs a full-geometry engine
+//     over its partition, so per-node restore spans the whole image while
+//     replay and tick apply scale with 1/nodes — see DESIGN.md;
+//   - live migration — for sizes > 1, a slot-aligned sub-range moves
+//     between nodes mid-run over the replication range-transfer protocol;
+//     the row reports the live window, the cutover install pause, and the
+//     blackout tick count, which must be zero;
+//   - identity — the recovered world must be byte-identical per cell to a
+//     never-crashed single-node serial run of the same scenario.
+//
+// A cell that fails identity or blacks out a tick fails the run: this
+// experiment doubles as the cluster's crash-equivalence acceptance check in
+// the CI smoke matrix.
+
+// ClusterBenchRow is one (scenario, cluster size) measurement.
+type ClusterBenchRow struct {
+	Scenario  string
+	Nodes     int
+	Effective int
+	// TickMs is the mean synchronized (barrier) tick wall.
+	TickMs float64
+	// CheckpointMs is the coordinated world checkpoint wall.
+	CheckpointMs float64
+	// RecoveryMs is the whole-world parallel recovery wall; WorldTick the
+	// common tick every node recovered to.
+	RecoveryMs float64
+	WorldTick  uint64
+	// Migration leg (sizes > 1): live window in ticks, cutover install
+	// pause, blackout ticks (must be 0). MigTicks is -1 when no migration
+	// ran.
+	MigTicks     int
+	MigInstallMs float64
+	MigBlackout  int
+	// Identical: recovered world ≡ never-crashed single-node reference.
+	Identical bool
+}
+
+// ClusterBenchResult aggregates the sweep.
+type ClusterBenchResult struct {
+	Rows     []ClusterBenchRow
+	Tick     metrics.Figure // x = nodes, y = synchronized tick ms
+	Recovery metrics.Figure // x = nodes, y = whole-world recovery ms
+}
+
+// Table renders the rows.
+func (r *ClusterBenchResult) Table() *metrics.TextTable {
+	t := metrics.NewTextTable()
+	t.Header("scenario", "nodes", "eff", "tick ms", "ckpt ms", "recovery ms",
+		"world tick", "mig ticks", "install ms", "blackout", "identical")
+	for _, row := range r.Rows {
+		mig := "-"
+		inst := "-"
+		bo := "-"
+		if row.MigTicks >= 0 {
+			mig = fmt.Sprint(row.MigTicks)
+			inst = fmt.Sprintf("%.2f", row.MigInstallMs)
+			bo = fmt.Sprint(row.MigBlackout)
+		}
+		t.Row(row.Scenario, fmt.Sprint(row.Nodes), fmt.Sprint(row.Effective),
+			fmt.Sprintf("%.3f", row.TickMs),
+			fmt.Sprintf("%.2f", row.CheckpointMs),
+			fmt.Sprintf("%.2f", row.RecoveryMs),
+			fmt.Sprint(row.WorldTick), mig, inst, bo, fmt.Sprint(row.Identical))
+	}
+	return t
+}
+
+// Identical reports whether every row passed the byte-identity check.
+func (r *ClusterBenchResult) Identical() bool {
+	for _, row := range r.Rows {
+		if !row.Identical {
+			return false
+		}
+	}
+	return true
+}
+
+// ClusterBenchOptions trims the sweep; zero values mean defaults.
+type ClusterBenchOptions struct {
+	// Scenarios defaults to {hotspot, migration, flashcrowd}: the paper
+	// baseline plus the two scenarios that stress cross-node balance.
+	Scenarios []string
+	// Sizes defaults to {1, 2, 4} cluster nodes.
+	Sizes []int
+	// WarmTicks/LiveTicks default to 16/12: warm ends with the coordinated
+	// cut; the migration window sits inside the live phase.
+	WarmTicks int
+	LiveTicks int
+	// UpdatesPerTick defaults to the scale's Table 4 bold default.
+	UpdatesPerTick int
+	// Table overrides the scale geometry (tests).
+	Table *gamestate.Table
+	// DiskBytesPerSec throttles every node's backups: 0 means the
+	// scenariobench default (10x the scale's paper disk), negative
+	// unthrottled.
+	DiskBytesPerSec float64
+}
+
+func clusterBenchDefaults(s Scale, opts ClusterBenchOptions) ClusterBenchOptions {
+	if len(opts.Scenarios) == 0 {
+		opts.Scenarios = []string{"hotspot", "migration", "flashcrowd"}
+	}
+	if len(opts.Sizes) == 0 {
+		opts.Sizes = []int{1, 2, 4}
+	}
+	if opts.WarmTicks <= 0 {
+		opts.WarmTicks = 16
+	}
+	if opts.LiveTicks <= 0 {
+		opts.LiveTicks = 12
+	}
+	if opts.UpdatesPerTick <= 0 {
+		opts.UpdatesPerTick = DefaultUpdates(s)
+	}
+	if opts.DiskBytesPerSec == 0 {
+		opts.DiskBytesPerSec = 10 * Config(s).Params.DiskBandwidth
+	} else if opts.DiskBytesPerSec < 0 {
+		opts.DiskBytesPerSec = 0
+	}
+	return opts
+}
+
+// RunClusterBench sweeps scenario × cluster size over the real cluster
+// subsystem.
+func RunClusterBench(s Scale, seed int64, opts ClusterBenchOptions) (*ClusterBenchResult, error) {
+	opts = clusterBenchDefaults(s, opts)
+	table := Config(s).Table
+	if opts.Table != nil {
+		table = *opts.Table
+	}
+	res := &ClusterBenchResult{
+		Tick: metrics.Figure{
+			Title:  fmt.Sprintf("Cluster (%s scale): synchronized tick wall vs cluster size", s),
+			XLabel: "# nodes", YLabel: "barrier tick [ms]",
+		},
+		Recovery: metrics.Figure{
+			Title:  fmt.Sprintf("Cluster (%s scale): whole-world recovery vs cluster size", s),
+			XLabel: "# nodes", YLabel: "world recovery [ms]",
+		},
+	}
+	for _, name := range opts.Scenarios {
+		src, err := workload.New(name, workload.Config{
+			Table:          table,
+			UpdatesPerTick: opts.UpdatesPerTick,
+			Ticks:          opts.WarmTicks + opts.LiveTicks,
+			Skew:           DefaultSkew,
+			Seed:           seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ref, err := scenarioReference(table, src)
+		if err != nil {
+			return nil, err
+		}
+		tickSeries := metrics.Series{Name: name}
+		recSeries := metrics.Series{Name: name}
+		for _, nodes := range opts.Sizes {
+			row, err := clusterBenchCell(table, src, ref, nodes, opts)
+			if err != nil {
+				return nil, fmt.Errorf("clusterbench %s/nodes=%d: %w", name, nodes, err)
+			}
+			res.Rows = append(res.Rows, row)
+			tickSeries.Add(float64(nodes), row.TickMs)
+			recSeries.Add(float64(nodes), row.RecoveryMs)
+		}
+		res.Tick.Add(tickSeries)
+		res.Recovery.Add(recSeries)
+	}
+	return res, nil
+}
+
+// clusterBenchCell measures one (scenario, size) cell end to end.
+func clusterBenchCell(table gamestate.Table, src workload.Source, ref []byte,
+	nodes int, opts ClusterBenchOptions) (ClusterBenchRow, error) {
+	row := ClusterBenchRow{Scenario: src.Name(), Nodes: nodes, MigTicks: -1}
+	dir, err := os.MkdirTemp("", "mmocluster")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+
+	c, err := cluster.New(cluster.Options{
+		Table: table, Dir: dir, Mode: engine.ModeCopyOnUpdate,
+		Nodes: nodes, DiskBytesPerSec: opts.DiskBytesPerSec,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.Effective = len(c.Nodes())
+	total := opts.WarmTicks + opts.LiveTicks
+	migStart := opts.WarmTicks + 2
+	migFinish := total - 2
+	var cells []uint32
+	var batch []wal.Update
+	var tickWall time.Duration
+	for t := 0; t < total; t++ {
+		if row.Effective > 1 {
+			if t == migStart {
+				// Move half of node 0's first range to the last node.
+				r := c.Routing().Current().NodeRanges(0)[0]
+				if _, err := c.StartMigration(r.Lo, r.Lo+(r.Hi-r.Lo)/2, row.Effective-1); err != nil {
+					c.Close()
+					return row, err
+				}
+			}
+			if t == migFinish {
+				rep, err := c.FinishMigration()
+				if err != nil {
+					c.Close()
+					return row, err
+				}
+				row.MigTicks = rep.TicksLive
+				row.MigInstallMs = rep.InstallPause.Seconds() * 1e3
+				row.MigBlackout = rep.BlackoutTicks
+				if rep.BlackoutTicks != 0 {
+					c.Close()
+					return row, fmt.Errorf("migration blacked out %d ticks", rep.BlackoutTicks)
+				}
+			}
+		}
+		cells, batch = scenarioTick(src, t, cells, batch)
+		t0 := time.Now()
+		if err := c.Tick(batch); err != nil {
+			c.Close()
+			return row, err
+		}
+		tickWall += time.Since(t0)
+		if t == opts.WarmTicks-1 {
+			ck0 := time.Now()
+			if _, err := c.CheckpointWorld(); err != nil {
+				c.Close()
+				return row, err
+			}
+			row.CheckpointMs = time.Since(ck0).Seconds() * 1e3
+		}
+	}
+	row.TickMs = tickWall.Seconds() * 1e3 / float64(total)
+	if err := c.Close(); err != nil { // crash at the final tick barrier
+		return row, err
+	}
+
+	rc, wr, err := cluster.Recover(dir, cluster.Options{
+		Mode: engine.ModeCopyOnUpdate, DiskBytesPerSec: opts.DiskBytesPerSec,
+	})
+	if err != nil {
+		return row, err
+	}
+	row.RecoveryMs = wr.Wall.Seconds() * 1e3
+	row.WorldTick = wr.WorldTick
+	got := make([]byte, table.StateBytes())
+	if err := rc.ReadWorld(got); err != nil {
+		rc.Close()
+		return row, err
+	}
+	row.Identical = wr.WorldTick == uint64(total) && bytes.Equal(got, ref)
+	return row, rc.Close()
+}

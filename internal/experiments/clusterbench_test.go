@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gamestate"
+)
+
+// TestClusterBenchMicro runs the cluster sweep on a tiny geometry: every
+// row must recover byte-identical, migrations must drop zero ticks, and
+// the measured legs must be non-empty.
+func TestClusterBenchMicro(t *testing.T) {
+	tab := gamestate.Table{Rows: 8192, Cols: 8, CellSize: 4, ObjSize: 512}
+	res, err := RunClusterBench(Quick, 3, ClusterBenchOptions{
+		Scenarios:       []string{"migration"},
+		Sizes:           []int{1, 2, 4},
+		WarmTicks:       8,
+		LiveTicks:       8,
+		UpdatesPerTick:  300,
+		Table:           &tab,
+		DiskBytesPerSec: -1, // unthrottled: this is a correctness smoke
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Errorf("%s/nodes=%d: byte identity failed", row.Scenario, row.Nodes)
+		}
+		if row.WorldTick != 16 {
+			t.Errorf("%s/nodes=%d: recovered to world tick %d, want 16", row.Scenario, row.Nodes, row.WorldTick)
+		}
+		if row.RecoveryMs <= 0 || row.CheckpointMs <= 0 || row.TickMs <= 0 {
+			t.Errorf("%s/nodes=%d: empty measurement: %+v", row.Scenario, row.Nodes, row)
+		}
+		if row.Effective > 1 {
+			if row.MigTicks < 0 {
+				t.Errorf("%s/nodes=%d: no migration leg ran", row.Scenario, row.Nodes)
+			}
+			if row.MigBlackout != 0 {
+				t.Errorf("%s/nodes=%d: migration blacked out %d ticks", row.Scenario, row.Nodes, row.MigBlackout)
+			}
+		} else if row.MigTicks >= 0 {
+			t.Errorf("%s/nodes=%d: single-node row reports a migration", row.Scenario, row.Nodes)
+		}
+	}
+	if !res.Identical() {
+		t.Fatal("aggregate Identical() disagrees with the rows")
+	}
+}

@@ -15,6 +15,14 @@ import (
 // consistent world), so the slowest server's overhead gates every tick, and
 // recovering the world after a failure takes as long as the slowest server's
 // recovery.
+//
+// This is the *analytical companion* of the clusterbench experiment
+// (clusterbench.go): RunMultiServer evaluates the same quantities under
+// the Section 4.2 cost model in seconds of simulated time — cheap what-if
+// sweeps over server counts — while RunClusterBench measures them on the
+// real multi-node deployment layer (internal/cluster: tick barrier,
+// coordinated cuts, whole-world recovery, live migration). Where the two
+// disagree, trust the measurement and use the model for extrapolation.
 type MultiServerResult struct {
 	Servers []int
 	// Recovery is the whole-world recovery time per cluster size (servers

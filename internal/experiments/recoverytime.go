@@ -179,18 +179,12 @@ func recoveryPoint(mode engine.Mode, s Scale, seed int64, updates, logLen int,
 			return 0, nil, err
 		}
 	}
-	// Checkpoint until the image covers the whole warm phase (the first
-	// CheckpointNow may return a flush that started at tick 0 and was still
-	// in flight), so the replayed log is exactly the logLen ticks below.
-	for {
-		info, err := e.CheckpointNow()
-		if err != nil {
-			e.Close()
-			return 0, nil, err
-		}
-		if info.AsOfTick >= recoveryWarmTicks-1 {
-			break
-		}
+	// The image must cover the whole warm phase so the replayed log is
+	// exactly the logLen ticks below; CheckpointAsOf is the loop that
+	// guarantees it.
+	if _, err := e.CheckpointAsOf(recoveryWarmTicks - 1); err != nil {
+		e.Close()
+		return 0, nil, err
 	}
 	if err := e.Close(); err != nil {
 		return 0, nil, err

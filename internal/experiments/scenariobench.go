@@ -281,15 +281,11 @@ func scenarioReference(table gamestate.Table, src workload.Source) ([]byte, erro
 	return ref, e.Close()
 }
 
-// scenarioTick materializes tick t of the scenario as wal updates. Values
-// encode (tick, position) so in-tick ordering is observable in the slab.
+// scenarioTick materializes tick t of the scenario as wal updates, in the
+// canonical (tick, position) value encoding shared by every harness that
+// compares states cell for cell.
 func scenarioTick(src workload.Source, t int, cells []uint32, batch []wal.Update) ([]uint32, []wal.Update) {
-	cells = src.AppendTick(t, cells[:0])
-	batch = batch[:0]
-	for i, c := range cells {
-		batch = append(batch, wal.Update{Cell: c, Value: uint32(t)*1_000_003 + uint32(i)})
-	}
-	return cells, batch
+	return workload.TickUpdates(src, t, cells, batch)
 }
 
 // benchApplyRepeats is how many times the throughput leg replays the
@@ -405,18 +401,11 @@ func scenarioBenchCell(table gamestate.Table, src workload.Source, ref []byte,
 		}
 	}
 	cell.OverheadMsPerTick = p.Stats().PauseTotal.Seconds() * 1e3 / float64(opts.WarmTicks)
-	// Checkpoint until the image covers the warm phase (CheckpointNow may
-	// return a flush that started ticks ago), pinning cold replay to
-	// exactly LiveTicks.
-	for {
-		info, err := p.CheckpointNow()
-		if err != nil {
-			p.Close()
-			return cell, err
-		}
-		if info.AsOfTick >= uint64(opts.WarmTicks-1) {
-			break
-		}
+	// The image must cover the warm phase, pinning cold replay to exactly
+	// LiveTicks; CheckpointAsOf is the loop that guarantees it.
+	if _, err := p.CheckpointAsOf(uint64(opts.WarmTicks - 1)); err != nil {
+		p.Close()
+		return cell, err
 	}
 	if err := p.Close(); err != nil {
 		return cell, err

@@ -111,6 +111,79 @@ func readFrame(r io.Reader, buf []byte) (body, nextBuf []byte, err error) {
 	return body, buf, nil
 }
 
+// sendSnapshot ships a tick-consistent image as snapBegin, snapChunk* and
+// snapEnd frames: the bootstrap leg shared by standby sessions (whole
+// slab) and range transfers (one object range). scratch is reused and
+// returned possibly grown.
+func sendSnapshot(w io.Writer, scratch []byte, nextTick uint64, data []byte) ([]byte, error) {
+	begin := make([]byte, 0, 17)
+	begin = append(begin, ftSnapBegin)
+	begin = binary.LittleEndian.AppendUint64(begin, nextTick)
+	begin = binary.LittleEndian.AppendUint64(begin, uint64(len(data)))
+	var err error
+	if scratch, err = writeFrame(w, scratch, begin); err != nil {
+		return scratch, err
+	}
+	chunk := make([]byte, 0, 9+snapChunkSize)
+	for off := 0; off < len(data); off += snapChunkSize {
+		end := off + snapChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk = append(chunk[:0], ftSnapChunk)
+		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(off))
+		chunk = append(chunk, data[off:end]...)
+		if scratch, err = writeFrame(w, scratch, chunk); err != nil {
+			return scratch, err
+		}
+	}
+	return writeFrame(w, scratch, []byte{ftSnapEnd})
+}
+
+// recvSnapshot collects the snapshot sent by sendSnapshot, enforcing the
+// expected size and in-order chunking. rbuf is the frame read buffer,
+// reused and returned possibly grown.
+func recvSnapshot(r io.Reader, rbuf []byte, want uint64) (nextTick uint64, snap, nextBuf []byte, err error) {
+	body, rbuf, err := readFrame(r, rbuf)
+	if err != nil {
+		return 0, nil, rbuf, fmt.Errorf("replication: bootstrap: %w", err)
+	}
+	if len(body) != 17 || body[0] != ftSnapBegin {
+		return 0, nil, rbuf, errors.New("replication: expected snapshot begin frame")
+	}
+	nextTick = binary.LittleEndian.Uint64(body[1:])
+	total := binary.LittleEndian.Uint64(body[9:])
+	if total != want {
+		return 0, nil, rbuf, fmt.Errorf("replication: snapshot is %d bytes, state holds %d", total, want)
+	}
+	snap = make([]byte, total)
+	received := uint64(0)
+	for {
+		body, rbuf, err = readFrame(r, rbuf)
+		if err != nil {
+			return 0, nil, rbuf, fmt.Errorf("replication: bootstrap: %w", err)
+		}
+		if body[0] == ftSnapEnd {
+			break
+		}
+		if len(body) < 9 || body[0] != ftSnapChunk {
+			return 0, nil, rbuf, errors.New("replication: expected snapshot chunk frame")
+		}
+		off := binary.LittleEndian.Uint64(body[1:])
+		data := body[9:]
+		if off != received || off+uint64(len(data)) > total {
+			return 0, nil, rbuf, fmt.Errorf("replication: snapshot chunk at %d out of order (have %d of %d)",
+				off, received, total)
+		}
+		copy(snap[off:], data)
+		received += uint64(len(data))
+	}
+	if received != total {
+		return 0, nil, rbuf, fmt.Errorf("replication: snapshot ended at %d of %d bytes", received, total)
+	}
+	return nextTick, snap, rbuf, nil
+}
+
 // hello is the geometry handshake, sent by the primary and echoed by the
 // standby; a mismatch on any field aborts the session before any data.
 type hello struct {

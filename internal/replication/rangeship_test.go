@@ -1,0 +1,115 @@
+package replication
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// TestRangeTransferStagesSnapshotAndTicks drives a full range session over
+// net.Pipe: snapshot, a streamed tick window, cut. The staged buffer must
+// equal a direct apply of the same updates to the snapshot.
+func TestRangeTransferStagesSnapshotAndTicks(t *testing.T) {
+	g := RangeGeometry{Lo: 2, Hi: 6, ObjSize: 512}
+	cellsPerObj := g.ObjSize / 4
+	snap := make([]byte, g.bytes())
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(snap)
+	want := append([]byte(nil), snap...)
+
+	pc, sc := net.Pipe()
+	rr := NewRangeReceiver(sc, g)
+	done := make(chan error, 1)
+	go func() { done <- rr.Run() }()
+
+	s, err := NewRangeSender(pc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nextTick = 10
+	if err := s.SendSnapshot(nextTick, snap); err != nil {
+		t.Fatal(err)
+	}
+	for tick := uint64(nextTick); tick < nextTick+4; tick++ {
+		var batch []wal.Update
+		if tick != nextTick+2 { // one empty tick: must advance the watermark too
+			for i := 0; i < 8; i++ {
+				cell := uint32(g.Lo*cellsPerObj + rng.Intn((g.Hi-g.Lo)*cellsPerObj))
+				v := rng.Uint32()
+				batch = append(batch, wal.Update{Cell: cell, Value: v})
+				binary.LittleEndian.PutUint32(want[int(cell)*4-g.Lo*g.ObjSize:], v)
+			}
+		}
+		if err := s.SendTick(tick, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.AwaitApplied(nextTick + 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SendCut(nextTick + 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+	if rr.CutTick() != nextTick+4 {
+		t.Fatalf("cut tick %d, want %d", rr.CutTick(), nextTick+4)
+	}
+	if !bytes.Equal(rr.Buffer(), want) {
+		t.Fatal("staged range differs from direct apply")
+	}
+	s.Close()
+}
+
+// TestRangeTransferRejectsGapsAndStrays: a tick gap or an update outside
+// the range kills the session with a clear error instead of diverging.
+func TestRangeTransferRejectsGapsAndStrays(t *testing.T) {
+	g := RangeGeometry{Lo: 0, Hi: 2, ObjSize: 512}
+	run := func(f func(s *RangeSender)) error {
+		pc, sc := net.Pipe()
+		rr := NewRangeReceiver(sc, g)
+		done := make(chan error, 1)
+		go func() { done <- rr.Run() }()
+		s, err := NewRangeSender(pc, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SendSnapshot(4, make([]byte, g.bytes())); err != nil {
+			t.Fatal(err)
+		}
+		f(s)
+		err = <-done
+		s.Close()
+		return err
+	}
+	for name, f := range map[string]func(s *RangeSender){
+		"gap": func(s *RangeSender) {
+			if err := s.SendTick(6, nil); err != nil { // tick 4,5 skipped
+				t.Fatal(err)
+			}
+		},
+		"stray": func(s *RangeSender) {
+			cellsPerObj := uint32(g.ObjSize / 4)
+			if err := s.SendTick(4, []wal.Update{{Cell: 2*cellsPerObj + 1, Value: 1}}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"early-cut": func(s *RangeSender) {
+			if err := s.SendTick(4, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SendCut(7); err != nil { // staged through 4, cut claims 7
+				t.Fatal(err)
+			}
+		},
+	} {
+		if err := run(f); err == nil {
+			t.Fatalf("%s: receiver accepted a corrupt stream", name)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package replication
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -147,27 +146,7 @@ func (s *Shipper) ship() error {
 	s.stats.SnapshotBytes = int64(len(snap))
 	s.mu.Unlock()
 
-	begin := make([]byte, 0, 17)
-	begin = append(begin, ftSnapBegin)
-	begin = binary.LittleEndian.AppendUint64(begin, nextTick)
-	begin = binary.LittleEndian.AppendUint64(begin, uint64(len(snap)))
-	if scratch, err = writeFrame(s.conn, scratch, begin); err != nil {
-		return err
-	}
-	chunk := make([]byte, 0, 9+snapChunkSize)
-	for off := 0; off < len(snap); off += snapChunkSize {
-		end := off + snapChunkSize
-		if end > len(snap) {
-			end = len(snap)
-		}
-		chunk = append(chunk[:0], ftSnapChunk)
-		chunk = binary.LittleEndian.AppendUint64(chunk, uint64(off))
-		chunk = append(chunk, snap[off:end]...)
-		if scratch, err = writeFrame(s.conn, scratch, chunk); err != nil {
-			return err
-		}
-	}
-	if scratch, err = writeFrame(s.conn, scratch, []byte{ftSnapEnd}); err != nil {
+	if scratch, err = sendSnapshot(s.conn, scratch, nextTick, snap); err != nil {
 		return err
 	}
 	snap = nil // the copy is on the wire; free the slab-sized buffer
@@ -177,7 +156,12 @@ func (s *Shipper) ship() error {
 	// The live stream: tail-follow the WAL, framing every record with
 	// tick >= nextTick. TryNext is non-blocking; on a dry tail we wait for
 	// the engine's tick-commit signal (or the idle poll, which covers
-	// records that were appended before we subscribed).
+	// records that were appended before we subscribed). Range installs need
+	// no special casing at the snapshot boundary: they are logged at the
+	// engine's next tick (>= our nextTick), so one sharing the snapshot's
+	// inter-tick window is streamed regardless of which side of the copy it
+	// landed on — and re-applying absolute bytes the snapshot already
+	// contains is idempotent on the standby.
 	tail := wal.NewTailReader(s.e.WALDir(), nextTick)
 	defer tail.Close()
 	var frame []byte

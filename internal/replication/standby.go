@@ -113,44 +113,11 @@ func (sb *Standby) serve() error {
 	// Bootstrap: collect the snapshot image, then open the standby engine
 	// from it (OpenStandby persists it as the bootstrap checkpoint image,
 	// so the standby is recoverable before the first streamed tick lands).
-	body, rbuf, err = readFrame(sb.conn, rbuf)
+	nextTick, snap, rbuf, err := recvSnapshot(sb.conn, rbuf, uint64(sb.opts.Table.StateBytes()))
 	if err != nil {
-		return fmt.Errorf("replication: bootstrap: %w", err)
+		return err
 	}
-	if len(body) != 17 || body[0] != ftSnapBegin {
-		return errors.New("replication: expected snapshot begin frame")
-	}
-	nextTick := binary.LittleEndian.Uint64(body[1:])
-	total := binary.LittleEndian.Uint64(body[9:])
-	want := uint64(sb.opts.Table.StateBytes())
-	if total != want {
-		return fmt.Errorf("replication: snapshot is %d bytes, state geometry holds %d", total, want)
-	}
-	snap := make([]byte, total)
-	received := uint64(0)
-	for {
-		body, rbuf, err = readFrame(sb.conn, rbuf)
-		if err != nil {
-			return fmt.Errorf("replication: bootstrap: %w", err)
-		}
-		if body[0] == ftSnapEnd {
-			break
-		}
-		if len(body) < 9 || body[0] != ftSnapChunk {
-			return errors.New("replication: expected snapshot chunk frame")
-		}
-		off := binary.LittleEndian.Uint64(body[1:])
-		data := body[9:]
-		if off != received || off+uint64(len(data)) > total {
-			return fmt.Errorf("replication: snapshot chunk at %d out of order (have %d of %d)",
-				off, received, total)
-		}
-		copy(snap[off:], data)
-		received += uint64(len(data))
-	}
-	if received != total {
-		return fmt.Errorf("replication: snapshot ended at %d of %d bytes", received, total)
-	}
+	total := uint64(len(snap))
 	e, err := engine.OpenStandby(sb.opts, nextTick, snap)
 	if err != nil {
 		return err

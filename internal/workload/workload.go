@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/gamestate"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Source is a named, deterministic update trace. It extends trace.Source —
@@ -96,6 +97,28 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// TickUpdates materializes tick t of a source as engine updates with the
+// canonical bench/equivalence value encoding: Value = t*1_000_003 + i for
+// the i-th update of the tick, so in-tick ordering is observable in the
+// slab and two independently driven runs (a cluster and its single-node
+// reference, a bench and its baseline) are comparable cell for cell.
+// cells and batch are reused across calls.
+func TickUpdates(src Source, t int, cells []uint32, batch []wal.Update) ([]uint32, []wal.Update) {
+	cells = src.AppendTick(t, cells[:0])
+	batch = batch[:0]
+	for i, c := range cells {
+		batch = append(batch, wal.Update{Cell: c, Value: uint32(t)*1_000_003 + uint32(i)})
+	}
+	return cells, batch
+}
+
+// Registered reports whether a scenario name is in the registry, so CLIs
+// can distinguish "no such scenario" (list the choices) from a bad config.
+func Registered(name string) bool {
+	_, ok := builders[name]
+	return ok
 }
 
 // New builds the named scenario.
