@@ -41,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/gamestate"
+	"repro/internal/replication"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -61,14 +62,17 @@ func main() {
 		ckptEach = flag.Int("checkpoint-every", 64, "coord: coordinated world checkpoint interval in ticks (0 = only at the end)")
 		shards   = flag.Int("shards", 1, "node: engine shards")
 		mode     = flag.String("mode", "cou", "node: checkpoint method (cou | naive)")
+		netTO    = flag.Duration("net-timeout", 30*time.Second,
+			"bound on dial/accept and on any single command-stream read; a dead peer "+
+				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
 	)
 	flag.Parse()
 	table := gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512}
 	switch *role {
 	case "node":
-		runNode(table, *listen, *dir, *shards, *mode)
+		runNode(table, *listen, *dir, *shards, *mode, *netTO)
 	case "coord":
-		runCoord(table, *nodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach)
+		runCoord(table, *nodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *netTO)
 	default:
 		fmt.Fprintln(os.Stderr, "cluster: -role must be node or coord")
 		flag.Usage()
@@ -76,7 +80,7 @@ func main() {
 	}
 }
 
-func runNode(table gamestate.Table, listen, dir string, shards int, mode string) {
+func runNode(table gamestate.Table, listen, dir string, shards int, mode string, netTO time.Duration) {
 	if dir == "" {
 		log.Fatal("cluster: -dir is required for a node")
 	}
@@ -99,19 +103,21 @@ func runNode(table gamestate.Table, listen, dir string, shards int, mode string)
 		log.Fatal(err)
 	}
 	log.Printf("node: serving partition on %s (world tick %d)", listen, e.NextTick())
-	conn, err := ln.Accept()
+	conn, err := replication.AcceptWithin(ln, netTO)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ln.Close()
-	if err := cluster.ServeNode(conn, e); err != nil {
+	// The coordinator sends commands at tick pacing; a read stalled past
+	// the idle bound means it died mid-run — fail typed instead of hanging.
+	if err := cluster.ServeNode(replication.NewIdleConn(conn, netTO), e); err != nil {
 		log.Fatalf("node: session failed: %v", err)
 	}
 	log.Printf("node: coordinator session over; world tick %d, state durable in %s", e.NextTick(), dir)
 }
 
 func runCoord(table gamestate.Table, nodeList, scenario string, ticks, updates int,
-	skew float64, seed int64, ckptEach int) {
+	skew float64, seed int64, ckptEach int, netTO time.Duration) {
 	addrs := strings.Split(nodeList, ",")
 	if nodeList == "" || len(addrs) == 0 {
 		log.Fatal("cluster: -nodes is required for the coordinator")
@@ -131,11 +137,13 @@ func runCoord(table gamestate.Table, nodeList, scenario string, ticks, updates i
 	remotes := make([]*cluster.RemoteNode, m.NumNodes)
 	nexts := make([]uint64, m.NumNodes)
 	for i, addr := range addrs {
-		conn, err := net.Dial("tcp", strings.TrimSpace(addr))
+		conn, err := replication.Dial(strings.TrimSpace(addr), netTO)
 		if err != nil {
 			log.Fatalf("cluster: node %d (%s): %v", i, addr, err)
 		}
-		rn, next, err := cluster.Attach(conn, table)
+		// Barrier acks arrive within a tick's apply time; bound the wait so
+		// a node that died mid-tick fails the run typed instead of wedging it.
+		rn, next, err := cluster.Attach(replication.NewIdleConn(conn, netTO), table)
 		if err != nil {
 			log.Fatalf("cluster: node %d (%s): %v", i, addr, err)
 		}

@@ -9,8 +9,8 @@
 // Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
 // fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
 // logging, ksafety, multiserver, sharding, recoverytime, failovertime,
-// scenariobench, clusterbench, all. Output is printed as aligned text
-// tables; -out additionally writes CSV files per figure.
+// scenariobench, clusterbench, chaosbench, all. Output is printed as
+// aligned text tables; -out additionally writes CSV files per figure.
 //
 // -shards N runs the fig6 validation engine sharded (N apply workers and
 // checkpoint flushers); the sharding and recoverytime experiments sweep
@@ -38,6 +38,15 @@
 // with a zero-blackout check and per-cell byte identity against a
 // single-node reference. -cluster-scenarios and -cluster-sizes trim the
 // sweep. It is the measured successor of the analytical multiserver model.
+//
+// chaosbench runs seeded fault-injection schedules (internal/chaos) over
+// scenario × fault site × seed: a backup device that dies mid-flush, a
+// replication link severed mid-frame session after session, a migration
+// range stream cut mid-transfer. Every cell must end byte-identical to a
+// never-faulted reference — "survived" when no fault fired, "degraded" when
+// faults fired and the degradation path held; any "failed" cell exits
+// non-zero, printing the (seed, site) pair that replays it.
+// -chaos-scenarios, -chaos-sites and -chaos-seeds trim the matrix.
 package main
 
 import (
@@ -72,6 +81,9 @@ func main() {
 		foCheck   = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
 		clustScen = flag.String("cluster-scenarios", "", "comma-separated clusterbench scenario filter (empty = hotspot,migration,flashcrowd)")
 		clustSize = flag.String("cluster-sizes", "", "comma-separated clusterbench node counts (empty = 1,2,4)")
+		chaosScen = flag.String("chaos-scenarios", "", "comma-separated chaosbench scenario filter (empty = flashcrowd,hotspot,migration)")
+		chaosSite = flag.String("chaos-sites", "", "comma-separated chaosbench fault sites (empty = disk,replink,cluster)")
+		chaosSeed = flag.String("chaos-seeds", "", "comma-separated chaosbench schedule seeds (empty = 1,2,3)")
 		benchScen = flag.String("bench-scenarios", "", "comma-separated scenariobench scenario filter (empty = all registered scenarios)")
 		benchDisk = flag.Float64("bench-disk", 0, "scenariobench backup throttle in bytes/sec (0 = bench default: 10x the scale's paper disk, <0 = unthrottled); changing it makes reports incomparable with the committed baseline")
 		benchOut  = flag.String("bench-out", "BENCH_scenarios.json", "scenariobench report path")
@@ -103,6 +115,7 @@ func main() {
 		shards: *shards, recLog: *recLog, recDisk: *recDisk,
 		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck,
 		clustScen: *clustScen, clustSize: *clustSize,
+		chaosScen: *chaosScen, chaosSite: *chaosSite, chaosSeed: *chaosSeed,
 		benchScen: *benchScen, benchDisk: *benchDisk, benchOut: *benchOut, benchBase: *benchBase,
 		writeBase: *writeBase, gate: *gate, gateTol: *gateTol}
 
@@ -160,6 +173,9 @@ func main() {
 	if want("clusterbench") {
 		r.clusterbench()
 	}
+	if want("chaosbench") {
+		r.chaosbench()
+	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
@@ -185,6 +201,9 @@ type runner struct {
 	foCheck   bool
 	clustScen string
 	clustSize string
+	chaosScen string
+	chaosSite string
+	chaosSeed string
 	benchScen string
 	benchDisk float64
 	benchOut  string
@@ -416,6 +435,51 @@ func (r *runner) clusterbench() {
 			len(cb.Rows))
 		fmt.Println("note: clusterbench measures the real internal/cluster subsystem; " +
 			"-exp multiserver is its analytical cost-model companion")
+	})
+}
+
+func (r *runner) chaosbench() {
+	r.timed("chaosbench", func() {
+		split := func(s string) []string {
+			var out []string
+			for _, v := range strings.Split(s, ",") {
+				if v = strings.TrimSpace(v); v != "" {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		var seeds []int64
+		for _, v := range split(r.chaosSeed) {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				fatalf("chaosbench: bad -chaos-seeds entry %q", v)
+			}
+			seeds = append(seeds, n)
+		}
+		rep, err := experiments.RunChaosBench(r.scale, experiments.ChaosBenchOptions{
+			Scenarios: split(r.chaosScen),
+			Sites:     split(r.chaosSite),
+			Seeds:     seeds,
+		})
+		if err != nil {
+			fatalf("chaosbench: %v", err)
+		}
+		r.emitTable("Chaos bench: scenario × fault site × seed (injected faults vs degradation paths)",
+			rep.Table())
+		// Byte identity under injected faults is the whole point: a failed
+		// cell means a degradation path lost state, and the (seed, site)
+		// pair printed below replays the exact fault schedule.
+		if failed := rep.Failed(); len(failed) > 0 {
+			for _, c := range failed {
+				fmt.Fprintf(os.Stderr, "chaosbench: FAILED %s/%s seed=%d: %s\n",
+					c.Scenario, c.Site, c.Seed, c.Detail)
+			}
+			fatalf("chaosbench: %d of %d fault schedules failed; replay any with -chaos-scenarios/-chaos-sites/-chaos-seeds",
+				len(failed), len(rep.Cells))
+		}
+		fmt.Printf("chaos equivalence: %d fault schedules, %d degraded cleanly, 0 failed — every cell byte-identical to its never-faulted reference\n",
+			len(rep.Cells), rep.Degraded())
 	})
 }
 

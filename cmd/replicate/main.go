@@ -47,6 +47,9 @@ func main() {
 		lag     = flag.Int("lag", 16, "primary: replay-lag budget in ticks")
 		syncLog = flag.Bool("sync", false, "fsync the log at every tick")
 		seed    = flag.Int64("seed", 1, "primary: workload seed")
+		netTO   = flag.Duration("net-timeout", 30*time.Second,
+			"bound on dial/accept and on any single stream read; a silently dead peer "+
+				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -59,9 +62,9 @@ func main() {
 	}
 	switch *role {
 	case "primary":
-		runPrimary(opts, *listen, *updates, *ticks, *tickMs, *lag, *seed)
+		runPrimary(opts, *listen, *updates, *ticks, *tickMs, *lag, *seed, *netTO)
 	case "standby":
-		runStandby(opts, *connect)
+		runStandby(opts, *connect, *netTO)
 	default:
 		fmt.Fprintln(os.Stderr, "replicate: -role must be primary or standby")
 		flag.Usage()
@@ -69,7 +72,7 @@ func main() {
 	}
 }
 
-func runPrimary(opts repro.EngineOptions, listen string, updates, ticks, tickMs, lag int, seed int64) {
+func runPrimary(opts repro.EngineOptions, listen string, updates, ticks, tickMs, lag int, seed int64, netTO time.Duration) {
 	e, err := repro.OpenEngine(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -84,14 +87,16 @@ func runPrimary(opts repro.EngineOptions, listen string, updates, ticks, tickMs,
 		log.Fatal(err)
 	}
 	log.Printf("primary: waiting for a standby on %s", listen)
-	conn, err := ln.Accept()
+	conn, err := repro.AcceptWithin(ln, netTO)
 	if err != nil {
 		log.Fatal(err)
 	}
 	ln.Close()
 	log.Printf("primary: standby connected from %s; shipping begins", conn.RemoteAddr())
 
-	sh, err := repro.StartPrimary(e, conn, repro.ShipperOptions{MaxLagTicks: lag})
+	// Acks flow back continuously while ticks ship, so a read stalled past
+	// the idle bound means the standby is gone, not slow.
+	sh, err := repro.StartPrimary(e, repro.NewIdleConn(conn, netTO), repro.ShipperOptions{MaxLagTicks: lag})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,12 +135,14 @@ func runPrimary(opts repro.EngineOptions, listen string, updates, ticks, tickMs,
 	sh.Stop() //nolint:errcheck // the deliberate "crash"
 }
 
-func runStandby(opts repro.EngineOptions, connect string) {
-	conn, err := net.Dial("tcp", connect)
+func runStandby(opts repro.EngineOptions, connect string, netTO time.Duration) {
+	conn, err := repro.DialTimeout(connect, netTO)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sb, err := repro.StartStandby(opts, conn)
+	// Tick frames arrive at the primary's pacing; a read stalled past the
+	// idle bound means the link died without closing — seal and promote.
+	sb, err := repro.StartStandby(opts, repro.NewIdleConn(conn, netTO))
 	if err != nil {
 		log.Fatal(err)
 	}

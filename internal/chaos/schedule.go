@@ -1,0 +1,88 @@
+// Package chaos is the deterministic fault-injection layer: schedule-driven
+// wrappers for disk devices (torn writes, read/write/sync errors, stalls,
+// bit-flips on unsynced bytes) and network connections (drops, delays,
+// one-direction partitions, mid-frame severs), all keyed by a (seed, site)
+// pair so every chaos run — and every failure it surfaces — is replayable
+// from its seed alone.
+//
+// The design splits *decision* from *timing*: whether the Nth operation at a
+// site faults is a pure function of (seed, site, N), computed from a
+// SplitMix64 stream. What can drift between runs is how many operations a
+// concurrent component has issued by a given wall-clock moment (an async
+// checkpoint flush may be one chunk further along), so replays reproduce the
+// same fault *shape* at the same *operation index*, not necessarily at the
+// same nanosecond. That is the strongest determinism an injection layer can
+// offer without lock-stepping the system under test, and it is enough: a
+// failing (seed, site) cell reproduces the same injected faults in the same
+// per-site order every run.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+)
+
+// ErrInjected is the sentinel every injected chaos fault matches via
+// errors.Is, regardless of site or shape.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Error is the typed fault all injectors return: the site and operation
+// identify the schedule cell, N the operation index within the site's
+// stream — together with the seed, enough to replay the exact fault.
+type Error struct {
+	Site string // schedule site, e.g. "disk/a" or "replink/standby"
+	Op   string // operation faulted, e.g. "write", "read", "sync", "sever"
+	N    int64  // site-local operation index at which the fault fired
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault at %s op %d", e.Op, e.Site, e.N)
+}
+
+// Is makes every *Error match ErrInjected.
+func (e *Error) Is(target error) bool { return target == ErrInjected }
+
+// Rand is a deterministic SplitMix64 stream keyed by (seed, site). Each
+// injector owns one; the stream is consumed one draw per decision point, so
+// the Kth decision at a site is a pure function of (seed, site, K).
+//
+// Rand is not goroutine-safe; injectors serialize draws under their own
+// locks.
+type Rand struct {
+	state uint64
+}
+
+// NewRand derives the (seed, site) substream: the site name is folded in via
+// FNV-1a, the same salt recipe internal/workload uses to keep sibling
+// scenarios uncorrelated at a shared seed.
+func NewRand(seed int64, site string) *Rand {
+	h := fnv.New64a()
+	h.Write([]byte(site)) //nolint:errcheck // fnv never fails
+	return &Rand{state: uint64(seed)*0x9E3779B97F4A7C15 + h.Sum64()}
+}
+
+// Uint64 advances the SplitMix64 stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Float64 draws from [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn draws from [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("chaos: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}

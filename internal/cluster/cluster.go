@@ -3,10 +3,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/gamestate"
 	"repro/internal/wal"
@@ -39,7 +43,37 @@ type Options struct {
 	// ReplayAction interprets action payloads, both live (TickActions) and
 	// during node recovery. Required if TickActions is used.
 	ReplayAction engine.ReplayActionFunc
+	// BarrierTimeout bounds every barrier wait — Tick, TickActions and
+	// CheckpointWorld — so one stalled node yields a typed *TimeoutError
+	// instead of hanging the coordinator forever. Zero keeps the unbounded
+	// wait. After a timeout the cluster is wedged: the straggler may still
+	// hold its engine, so further tick calls fail with the same error.
+	BarrierTimeout time.Duration
+	// MigrationPipe overrides the in-process duplex connection a migration's
+	// range transfer runs over (default net.Pipe). The fault-injection
+	// harness wraps it to sever the stream mid-migration.
+	MigrationPipe func() (sender, receiver net.Conn)
+	// DeviceFactory overrides how each node engine opens its backup devices
+	// (fault injection). The path identifies both the node and the backup.
+	DeviceFactory func(path string) (disk.Device, error)
 }
+
+// TimeoutError reports a barrier wait that exceeded Options.BarrierTimeout:
+// the listed nodes had not applied when the deadline hit.
+type TimeoutError struct {
+	Op      string // "tick", "actions" or "checkpoint"
+	Tick    uint64
+	Waiting []int // nodes that had not reached the barrier
+	Wait    time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("cluster: %s barrier at tick %d timed out after %v (nodes %v still applying)",
+		e.Op, e.Tick, e.Wait, e.Waiting)
+}
+
+// Timeout marks the error as a deadline failure (net.Error convention).
+func (e *TimeoutError) Timeout() bool { return true }
 
 // Node is one cluster member: a full engine plus its place in the world.
 type Node struct {
@@ -65,10 +99,18 @@ type Cluster struct {
 	perNode     [][]wal.Update
 	work        []chan []wal.Update
 	errs        []error
+	applied     []atomic.Bool // per-node: reached the current Tick barrier
 	wg          sync.WaitGroup
 
 	mig    *Migration
+	migErr error // sticky: why the last migration aborted
 	closed bool
+
+	// wedged is set by the first barrier timeout; drained is closed when the
+	// timed-out barrier's stragglers eventually finish (Close waits briefly
+	// for it before tearing engines down under a straggler).
+	wedged  error
+	drained chan struct{}
 
 	// barrierLog, when non-nil, records (tick, node) apply completions for
 	// the barrier-ordering test.
@@ -111,7 +153,7 @@ func nodeEngineOptions(opts Options, dir string) engine.Options {
 	return engine.Options{
 		Table: opts.Table, Dir: dir, Mode: opts.Mode, Shards: shards,
 		DiskBytesPerSec: opts.DiskBytesPerSec, SyncEveryTick: opts.SyncEveryTick,
-		ReplayAction: opts.ReplayAction,
+		ReplayAction: opts.ReplayAction, DeviceFactory: opts.DeviceFactory,
 	}
 }
 
@@ -129,6 +171,7 @@ func build(opts Options, routing *Routing, tick uint64,
 		perNode:     make([][]wal.Update, m.NumNodes),
 		work:        make([]chan []wal.Update, m.NumNodes),
 		errs:        make([]error, m.NumNodes),
+		applied:     make([]atomic.Bool, m.NumNodes),
 	}
 	for i := 0; i < m.NumNodes; i++ {
 		dir := NodeDir(opts.Dir, i)
@@ -153,6 +196,7 @@ func build(opts Options, routing *Routing, tick uint64,
 				if c.barrierLog != nil && err == nil {
 					c.barrierLog(c.tick, i)
 				}
+				c.applied[i].Store(true)
 				c.wg.Done()
 			}
 		}(i, ch)
@@ -187,13 +231,21 @@ func (c *Cluster) Tick(batch []wal.Update) error {
 	if c.closed {
 		return errors.New("cluster: closed")
 	}
+	if c.wedged != nil {
+		return c.wedged
+	}
 	m := c.routing.MapAt(c.tick)
 	c.perNode = RouteTick(m, c.cellsPerObj, batch, c.perNode)
+	for i := range c.applied {
+		c.applied[i].Store(false)
+	}
 	c.wg.Add(len(c.work))
 	for i, ch := range c.work {
 		ch <- c.perNode[i]
 	}
-	c.wg.Wait()
+	if err := c.awaitBarrier("tick", c.tick, &c.wg, func(i int) bool { return c.applied[i].Load() }); err != nil {
+		return err
+	}
 	for i, err := range c.errs {
 		if err != nil {
 			return fmt.Errorf("cluster: node %d tick %d: %w", i, c.tick, err)
@@ -203,10 +255,46 @@ func (c *Cluster) Tick(batch []wal.Update) error {
 	c.tick++
 	if c.mig != nil {
 		if err := c.mig.feed(tick, batch); err != nil {
-			return fmt.Errorf("cluster: migration at tick %d: %w", tick, err)
+			// The range stream died mid-migration. The world must not: the
+			// transfer aborts cleanly — staging discarded, ownership map
+			// untouched, the source keeps owning and serving the range —
+			// and the tick itself stands (it was applied by every owner
+			// before the stream was fed). The abort is sticky and surfaces
+			// via MigrationAborted and FinishMigration.
+			c.mig.abort()
+			c.mig = nil
+			c.migErr = fmt.Errorf("%w: range stream cut at tick %d: %w", ErrMigrationAborted, tick, err)
 		}
 	}
 	return nil
+}
+
+// awaitBarrier joins a per-node fan-out, bounded by Options.BarrierTimeout
+// when one is set. On timeout the cluster wedges: the stragglers still own
+// their engines, so the only safe continuations are the typed error and a
+// Close that grants them a grace period.
+func (c *Cluster) awaitBarrier(op string, tick uint64, wg *sync.WaitGroup, reached func(i int) bool) error {
+	if c.opts.BarrierTimeout <= 0 {
+		wg.Wait()
+		return nil
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(c.opts.BarrierTimeout):
+		var waiting []int
+		for i := range c.nodes {
+			if !reached(i) {
+				waiting = append(waiting, i)
+			}
+		}
+		err := &TimeoutError{Op: op, Tick: tick, Waiting: waiting, Wait: c.opts.BarrierTimeout}
+		c.wedged = err
+		c.drained = done
+		return err
+	}
 }
 
 // TickActions applies one world tick of opaque action payloads, one per
@@ -227,6 +315,9 @@ func (c *Cluster) TickActions(payloads [][]byte) error {
 	if c.closed {
 		return errors.New("cluster: closed")
 	}
+	if c.wedged != nil {
+		return c.wedged
+	}
 	if c.mig != nil {
 		return errors.New("cluster: actions are not supported while a migration is in flight (an opaque payload's writes to the moving range cannot be streamed to the staging buffer)")
 	}
@@ -238,11 +329,13 @@ func (c *Cluster) TickActions(payloads [][]byte) error {
 	}
 	tick := c.tick
 	errs := make([]error, len(c.nodes))
+	done := make([]atomic.Bool, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
+			defer done[i].Store(true)
 			if payloads[i] == nil {
 				errs[i] = n.E.ApplyTickParallel(nil)
 				return
@@ -253,7 +346,10 @@ func (c *Cluster) TickActions(payloads [][]byte) error {
 			})
 		}(i, n)
 	}
-	wg.Wait() // the barrier: an action tick costs the slowest node, like Tick
+	// The barrier: an action tick costs the slowest node, like Tick.
+	if err := c.awaitBarrier("actions", tick, &wg, func(i int) bool { return done[i].Load() }); err != nil {
+		return err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("cluster: node %d tick %d: %w", i, tick, err)
@@ -273,21 +369,28 @@ func (c *Cluster) CheckpointWorld() (*Manifest, error) {
 	if c.closed {
 		return nil, errors.New("cluster: closed")
 	}
+	if c.wedged != nil {
+		return nil, c.wedged
+	}
 	if c.tick == 0 {
 		return nil, errors.New("cluster: no ticks applied")
 	}
 	cut := c.tick - 1
 	infos := make([]engine.CheckpointInfo, len(c.nodes))
 	errs := make([]error, len(c.nodes))
+	done := make([]atomic.Bool, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, n := range c.nodes {
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
+			defer done[i].Store(true)
 			infos[i], errs[i] = n.E.CheckpointAsOf(cut)
 		}(i, n)
 	}
-	wg.Wait()
+	if err := c.awaitBarrier("checkpoint", cut, &wg, func(i int) bool { return done[i].Load() }); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d checkpoint: %w", i, err)
@@ -331,6 +434,14 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.drained != nil {
+		// A barrier timed out: grant the stragglers one more timeout's
+		// grace before closing engines they may still be applying into.
+		select {
+		case <-c.drained:
+		case <-time.After(c.opts.BarrierTimeout):
+		}
+	}
 	if c.mig != nil {
 		c.mig.abort()
 		c.mig = nil

@@ -24,6 +24,12 @@ import (
 // owner and every tick t ≥ cut by the new one: zero blackout by
 // construction, and the report proves it arithmetically.
 
+// ErrMigrationAborted marks a migration torn down without cutting over:
+// the staged buffer was discarded, ownership never changed, and the source
+// node kept serving the range throughout. errors.Is-match it on the errors
+// MigrationAborted and FinishMigration return after a stream cut.
+var ErrMigrationAborted = errors.New("cluster: migration aborted")
+
 // Migration is one in-flight range transfer.
 type Migration struct {
 	Lo, Hi   int
@@ -60,8 +66,13 @@ func (c *Cluster) StartMigration(lo, hi, to int) (*Migration, error) {
 	}
 	from := cur.Owner(lo)
 
+	c.migErr = nil // a new attempt clears the last abort
 	geom := replication.RangeGeometry{Lo: lo, Hi: hi, ObjSize: c.table.ObjSize}
-	sc, rc := net.Pipe()
+	pipe := c.opts.MigrationPipe
+	if pipe == nil {
+		pipe = net.Pipe
+	}
+	sc, rc := pipe()
 	recv := replication.NewRangeReceiver(rc, geom)
 	m := &Migration{
 		Lo: lo, Hi: hi, From: from, To: to,
@@ -133,18 +144,23 @@ type MigrationReport struct {
 func (c *Cluster) FinishMigration() (*MigrationReport, error) {
 	m := c.mig
 	if m == nil {
+		if c.migErr != nil {
+			return nil, c.migErr
+		}
 		return nil, errors.New("cluster: no migration in flight")
 	}
 	cut := c.tick
 	if err := m.sender.SendCut(cut); err != nil {
 		m.abort()
 		c.mig = nil
-		return nil, err
+		c.migErr = fmt.Errorf("%w: cut at tick %d failed: %w", ErrMigrationAborted, cut, err)
+		return nil, c.migErr
 	}
 	if err := <-m.recvDone; err != nil {
 		m.sender.Close()
 		c.mig = nil
-		return nil, fmt.Errorf("cluster: migration receiver: %w", err)
+		c.migErr = fmt.Errorf("%w: receiver: %w", ErrMigrationAborted, err)
+		return nil, c.migErr
 	}
 	m.sender.Close()
 	c.mig = nil
@@ -182,3 +198,7 @@ func (m *Migration) abort() {
 	}
 	<-m.recvDone
 }
+
+// MigrationAborted reports why the last migration aborted (errors.Is
+// ErrMigrationAborted), or nil if none did. StartMigration clears it.
+func (c *Cluster) MigrationAborted() error { return c.migErr }

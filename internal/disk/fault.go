@@ -41,10 +41,18 @@ func (f *Fault) WriteAt(p []byte, off int64) (int, error) {
 	f.budget -= allowed
 	f.mu.Unlock()
 	if allowed < int64(len(p)) {
+		// The torn partial write: land the prefix, then report the fault.
+		// An error from the underlying device is joined in rather than
+		// swallowed — a double fault (tear + sick device) must not read as
+		// a clean tear, and errors.Is still matches ErrFaultInjected.
+		var n int
 		if allowed > 0 {
-			f.dev.WriteAt(p[:allowed], off) //nolint:errcheck // torn write
+			var werr error
+			if n, werr = f.dev.WriteAt(p[:allowed], off); werr != nil {
+				return n, errors.Join(ErrFaultInjected, werr)
+			}
 		}
-		return int(allowed), ErrFaultInjected
+		return n, ErrFaultInjected
 	}
 	return f.dev.WriteAt(p, off)
 }

@@ -1,0 +1,47 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+// brokenDev fails every write with its own error; reads and sync succeed.
+type brokenDev struct {
+	err error
+}
+
+func (d *brokenDev) ReadAt(p []byte, off int64) (int, error)  { return len(p), nil }
+func (d *brokenDev) WriteAt(p []byte, off int64) (int, error) { return 0, d.err }
+func (d *brokenDev) Sync() error                              { return nil }
+func (d *brokenDev) Close() error                             { return nil }
+
+func TestFaultTornWritePropagatesDeviceError(t *testing.T) {
+	devErr := errors.New("disk: medium error")
+	f := NewFault(&brokenDev{err: devErr}, 4)
+	n, err := f.WriteAt(make([]byte, 8), 0)
+	if n != 0 {
+		t.Fatalf("torn write over a broken device landed %d bytes, want 0", n)
+	}
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("double fault lost the injected marker: %v", err)
+	}
+	if !errors.Is(err, devErr) {
+		t.Fatalf("double fault swallowed the device error: %v", err)
+	}
+}
+
+func TestFaultTornWriteCleanTear(t *testing.T) {
+	mem := NewMem()
+	f := NewFault(mem, 4)
+	n, err := f.WriteAt([]byte{1, 2, 3, 4, 5, 6}, 0)
+	if n != 4 {
+		t.Fatalf("tear landed %d bytes, want 4", n)
+	}
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("got %v, want ErrFaultInjected", err)
+	}
+	// A clean tear reports only the injected fault, nothing joined.
+	if errs, ok := err.(interface{ Unwrap() []error }); ok && len(errs.Unwrap()) > 1 {
+		t.Fatalf("clean tear reported a joined error: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ type atomicCP struct {
 	wg   sync.WaitGroup
 	st   CPStats
 	werr writerErr
+	sick sickSet
 }
 
 func newAtomicCopy(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int, plan shardPlan) *atomicCP {
@@ -102,8 +103,11 @@ func (c *atomicCP) endTick(tick uint64) time.Duration {
 	begin := time.Now()
 	// The eager copy: every dirty object's bytes move to the side buffer
 	// during the natural quiescence at the end of the tick — in parallel
-	// across the shards' disjoint word ranges.
-	src := c.dirty[c.cur]
+	// across the shards' disjoint word ranges. The target is the rotation's
+	// backup, or the survivor when it went sick mid-flush; each backup's
+	// dirty map stands on its own, so the redirect needs no re-merge.
+	backup := c.sick.redirect(c.cur)
+	src := c.dirty[backup]
 	if c.plan.count() == 1 {
 		c.copyRange(src, 0, len(src))
 	} else {
@@ -121,8 +125,7 @@ func (c *atomicCP) endTick(tick uint64) time.Duration {
 	pause := time.Since(begin)
 	c.st.recordPause(pause)
 	c.epoch++
-	backup := c.cur
-	c.cur ^= 1
+	c.cur = backup ^ 1
 	c.inFlight.Store(true)
 	c.jobs <- couJob{epoch: c.epoch, tick: tick, backup: backup, begin: begin, pause: pause}
 	return pause
@@ -133,7 +136,11 @@ func (c *atomicCP) writer() {
 	for job := range c.jobs {
 		info, err := c.flush(job)
 		if err != nil {
-			c.werr.set(err)
+			// Abandon, never retry: the failed backup's header is already
+			// invalid, and the next endTick re-snapshots for the survivor.
+			if !c.sick.markSick(job.backup) {
+				c.werr.set(err)
+			}
 			c.inFlight.Store(false)
 			continue
 		}
@@ -247,6 +254,7 @@ func (c *atomicCP) flushShard(b *disk.Backup, lo, hi int) (int, int64, error) {
 func (c *atomicCP) completed() <-chan CheckpointInfo { return c.done }
 func (c *atomicCP) stats() *CPStats                  { return &c.st }
 func (c *atomicCP) err() error                       { return c.werr.get() }
+func (c *atomicCP) degraded() bool                   { return c.sick.any() }
 
 func (c *atomicCP) close() error {
 	close(c.jobs)

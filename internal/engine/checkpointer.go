@@ -100,6 +100,12 @@ type checkpointer interface {
 	stats() *CPStats
 	// err surfaces an asynchronous writer failure, if any.
 	err() error
+	// degraded reports the checkpointer is running on one surviving backup
+	// after the other's device went sick mid-flush. A degraded checkpointer
+	// keeps checkpointing — to the survivor only — and the engine stops
+	// pruning its log (the degrade contract recovery depends on: with a
+	// single image family, the full log must stay replayable).
+	degraded() bool
 	// bootstrap hands out the backup a standby's bootstrap image should be
 	// written to and the epoch to stamp it with, advancing the
 	// checkpointer's rotation so the next checkpoint targets the other
@@ -127,6 +133,31 @@ func (n *nopCheckpointer) completed() <-chan CheckpointInfo { return n.done }
 func (n *nopCheckpointer) close() error                     { close(n.done); return nil }
 func (n *nopCheckpointer) stats() *CPStats                  { return &n.st }
 func (n *nopCheckpointer) err() error                       { return nil }
+func (n *nopCheckpointer) degraded() bool                   { return false }
+
+// sickSet tracks which of a double-backup pair's devices have failed a
+// flush. The first sick backup degrades the checkpointer to the survivor; a
+// second failure is fatal (no healthy family left to write).
+type sickSet struct{ sick [2]atomic.Bool }
+
+// markSick records a failed flush against backup b and reports whether the
+// other backup survives (false = both sick, the failure is fatal).
+func (s *sickSet) markSick(b int) bool {
+	s.sick[b].Store(true)
+	return !s.sick[b^1].Load()
+}
+
+// redirect returns the backup a flush targeting cur should actually use:
+// cur itself while healthy, else the survivor.
+func (s *sickSet) redirect(cur int) int {
+	if s.sick[cur].Load() {
+		return cur ^ 1
+	}
+	return cur
+}
+
+// any reports whether at least one backup is sick.
+func (s *sickSet) any() bool { return s.sick[0].Load() || s.sick[1].Load() }
 
 // writerErr holds the first asynchronous failure.
 type writerErr struct{ v atomic.Value }
@@ -233,6 +264,7 @@ type naiveCP struct {
 	wg       sync.WaitGroup
 	st       CPStats
 	werr     writerErr
+	sick     sickSet
 }
 
 func newNaive(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int, plan shardPlan) *naiveCP {
@@ -302,10 +334,17 @@ func (c *naiveCP) endTick(tick uint64) time.Duration {
 func (c *naiveCP) writer() {
 	defer c.wg.Done()
 	for job := range c.jobs {
-		b := c.backups[c.cur]
-		c.cur ^= 1
+		// Target the rotation's backup, or the survivor when it is sick.
+		// On a failed flush the job is abandoned (its image is already
+		// invalidated by the incomplete header), never retried — the next
+		// endTick snapshots fresh state for the survivor.
+		target := c.sick.redirect(c.cur)
+		c.cur = target ^ 1
+		b := c.backups[target]
 		if err := c.flush(b, job); err != nil {
-			c.werr.set(err)
+			if !c.sick.markSick(target) {
+				c.werr.set(err)
+			}
 			c.inFlight.Store(false)
 			continue
 		}
@@ -354,6 +393,7 @@ func (c *naiveCP) flush(b *disk.Backup, job naiveJob) error {
 func (c *naiveCP) completed() <-chan CheckpointInfo { return c.done }
 func (c *naiveCP) stats() *CPStats                  { return &c.st }
 func (c *naiveCP) err() error                       { return c.werr.get() }
+func (c *naiveCP) degraded() bool                   { return c.sick.any() }
 
 func (c *naiveCP) close() error {
 	close(c.jobs)
@@ -427,6 +467,7 @@ type couCP struct {
 	wg   sync.WaitGroup
 	st   CPStats
 	werr writerErr
+	sick sickSet
 }
 
 func newCOU(store *Store, backups [2]*disk.Backup, startEpoch uint64, firstBackup int, plan shardPlan) *couCP {
@@ -524,7 +565,12 @@ func (c *couCP) endTick(tick uint64) time.Duration {
 		return 0
 	}
 	begin := time.Now()
-	src := c.dirty[c.cur]
+	// Target the rotation's backup, or the survivor when it is sick. The
+	// dirty map is the target's own: it over-approximates the objects whose
+	// latest value is missing from that backup's image independently of what
+	// happened to the other family, so degrading needs no re-merge.
+	backup := c.sick.redirect(c.cur)
+	src := c.dirty[backup]
 	for i, w := range src {
 		// Snapshot the write set and clear the dirty map; updates during
 		// the flush re-dirty objects for the next pass to this backup.
@@ -548,8 +594,7 @@ func (c *couCP) endTick(tick uint64) time.Duration {
 	pause := time.Since(begin)
 	c.st.recordPause(pause)
 	c.epoch++
-	backup := c.cur
-	c.cur ^= 1
+	c.cur = backup ^ 1
 	c.inFlight.Store(true)
 	c.jobs <- couJob{epoch: c.epoch, tick: tick, backup: backup, begin: begin, pause: pause}
 	return pause
@@ -560,7 +605,13 @@ func (c *couCP) writer() {
 	for job := range c.jobs {
 		info, err := c.flush(job)
 		if err != nil {
-			c.werr.set(err)
+			// The job is abandoned, not retried: the shard cursors advanced
+			// during the failed flush, so a retry against the same write set
+			// would mix tick states. The failed backup's header is already
+			// invalid; the next endTick targets the survivor.
+			if !c.sick.markSick(job.backup) {
+				c.werr.set(err)
+			}
 			c.inFlight.Store(false)
 			continue
 		}
@@ -706,6 +757,7 @@ func (c *couCP) flushShard(sh *couShard, b *disk.Backup) (int, int64, error) {
 func (c *couCP) completed() <-chan CheckpointInfo { return c.done }
 func (c *couCP) stats() *CPStats                  { return &c.st }
 func (c *couCP) err() error                       { return c.werr.get() }
+func (c *couCP) degraded() bool                   { return c.sick.any() }
 
 func (c *couCP) close() error {
 	close(c.jobs)

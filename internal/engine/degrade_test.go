@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/disk"
+	"repro/internal/gamestate"
+	"repro/internal/wal"
+)
+
+// flakyDev fails every write once tripped; until then it passes through.
+type flakyDev struct {
+	disk.Device
+	trip *atomic.Bool
+	err  error
+}
+
+func (d *flakyDev) WriteAt(p []byte, off int64) (int, error) {
+	if d.trip.Load() {
+		return 0, d.err
+	}
+	return d.Device.WriteAt(p, off)
+}
+
+func (d *flakyDev) Sync() error {
+	if d.trip.Load() {
+		return d.err
+	}
+	return d.Device.Sync()
+}
+
+// TestCheckpointDegradeSurvivesOneSickBackup drives an engine into a
+// mid-flush device failure on one backup and proves the degrade contract:
+// ticking continues, later checkpoints land on the survivor, CheckpointNow
+// does not hang on the aborted flush, and recovery from the directory (with
+// healthy devices) still reconstructs the exact state.
+func TestCheckpointDegradeSurvivesOneSickBackup(t *testing.T) {
+	for _, mode := range []Mode{ModeNaiveSnapshot, ModeCopyOnUpdate, ModeAtomicCopy} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			table := gamestate.Table{Rows: 256, Cols: 4, CellSize: 4, ObjSize: 64}
+			sickErr := errors.New("disk: medium died")
+			var trip atomic.Bool
+			opts := Options{
+				Table: table, Dir: dir, Mode: mode, SyncEveryTick: true,
+				DeviceFactory: func(path string) (disk.Device, error) {
+					dev, err := disk.OpenFile(path)
+					if err != nil {
+						return nil, err
+					}
+					if strings.HasSuffix(path, "backup-a.img") {
+						return &flakyDev{Device: dev, trip: &trip, err: sickErr}, nil
+					}
+					return dev, nil
+				},
+			}
+			e, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tick := func(v uint32) {
+				t.Helper()
+				batch := make([]wal.Update, 8)
+				for i := range batch {
+					batch[i] = wal.Update{Cell: uint32(i * 7), Value: v}
+				}
+				if err := e.ApplyTick(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// A healthy checkpoint first, so both families have seen life.
+			tick(1)
+			if _, err := e.CheckpointNow(); err != nil {
+				t.Fatal(err)
+			}
+			// Trip backup A and checkpoint until the rotation hits it. The
+			// aborted flush must degrade, not wedge or kill the engine.
+			trip.Store(true)
+			for i := 0; i < 4 && !e.CheckpointDegraded(); i++ {
+				tick(uint32(2 + i))
+				if _, err := e.CheckpointNow(); err != nil {
+					t.Fatalf("checkpoint during degrade: %v", err)
+				}
+			}
+			if !e.CheckpointDegraded() {
+				t.Fatal("checkpointer never degraded")
+			}
+			// Degraded but alive: more ticks, more checkpoints, all on the
+			// survivor.
+			tick(99)
+			info, err := e.CheckpointNow()
+			if err != nil {
+				t.Fatalf("degraded checkpoint: %v", err)
+			}
+			if info.AsOfTick != e.NextTick()-1 {
+				t.Fatalf("degraded checkpoint as-of %d, want %d", info.AsOfTick, e.NextTick()-1)
+			}
+			want := append([]byte(nil), e.Store().Slab()...)
+			wantTick := e.NextTick()
+			if err := e.Close(); err != nil {
+				t.Fatalf("close degraded engine: %v", err)
+			}
+
+			// Crash-recover the directory with healthy devices: the survivor
+			// image (plus the unpruned log) must reconstruct the state.
+			trip.Store(false)
+			re, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			if re.NextTick() != wantTick {
+				t.Fatalf("recovered to tick %d, want %d", re.NextTick(), wantTick)
+			}
+			if got := re.Store().Slab(); string(got) != string(want) {
+				t.Fatal("recovered state differs from the degraded engine's")
+			}
+		})
+	}
+}

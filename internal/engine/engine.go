@@ -421,7 +421,11 @@ func (e *Engine) recordCheckpoint(info CheckpointInfo) {
 		// past a replication subscriber's watermark — a shipper may still
 		// be streaming segments the checkpoint has made redundant locally.
 		if err := e.log.Rotate(e.tick + 1); err == nil {
-			if e.havePrev {
+			// While degraded (one backup family sick), pruning stops: the
+			// survivor's images are the only complete family left, and if
+			// that device also turns unreadable at recovery time the full
+			// log is the last line of defense. Retention over reclamation.
+			if e.havePrev && !e.cp.degraded() {
 				_ = e.log.Prune(e.retainFrom(e.prevAsOf + 1))
 			}
 		}
@@ -452,8 +456,12 @@ func (e *Engine) CheckpointNow() (CheckpointInfo, error) {
 	// below describes a checkpoint that finished during this call rather
 	// than one that finished before it.
 	e.drainCompleted()
-	e.cp.endTick(e.tick - 1) // no-op if a flush is already in flight
 	for {
+		// endTick is a no-op while a flush is in flight; keeping it inside
+		// the loop means an aborted flush (a backup went sick mid-write and
+		// the job was abandoned without a completion) restarts against the
+		// surviving backup instead of parking this wait forever.
+		e.cp.endTick(e.tick - 1)
 		select {
 		case info, ok := <-e.cp.completed():
 			if !ok {
@@ -468,6 +476,12 @@ func (e *Engine) CheckpointNow() (CheckpointInfo, error) {
 		}
 	}
 }
+
+// CheckpointDegraded reports whether the checkpointer has lost one backup
+// family and is writing images to the survivor only. A degraded engine keeps
+// ticking and checkpointing; it stops pruning its log (see
+// recordCheckpoint) so recovery never depends on the sick device.
+func (e *Engine) CheckpointDegraded() bool { return e.cp.degraded() }
 
 // CheckpointAsOf blocks until a completed checkpoint image covers tick —
 // its AsOfTick at or past tick — and returns that checkpoint's info.

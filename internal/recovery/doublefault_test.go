@@ -1,0 +1,90 @@
+package recovery
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/disk"
+)
+
+// TestChooseBackupBothHeadersUnreadable is the double fault: both media
+// fail their header reads, so recovery has nothing to stand on. The error
+// must be distinguishable — it carries the typed injected fault with the
+// failing backup's site, never a silent cold start and never a bare
+// "no image" that would be indistinguishable from a fresh directory.
+func TestChooseBackupBothHeadersUnreadable(t *testing.T) {
+	mk := func(site string) *disk.Backup {
+		dev := disk.NewMem()
+		if err := pBackup(t, dev).WriteHeader(disk.Header{Epoch: 5, AsOfTick: 50, Complete: true}); err != nil {
+			t.Fatal(err)
+		}
+		sick := chaos.WrapDevice(dev, 7, site, chaos.DeviceFaults{ReadErrEvery: 1})
+		return pBackup(t, sick)
+	}
+	a, b := mk("disk/a"), mk("disk/b")
+
+	idx, _, err := ChooseBackup(a, b)
+	if err == nil {
+		t.Fatal("both headers unreadable but ChooseBackup returned nil error")
+	}
+	if idx != -1 {
+		t.Fatalf("both headers unreadable but backup %d was chosen", idx)
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("error %v does not unwrap to the injected device fault", err)
+	}
+	var ce *chaos.Error
+	if !errors.As(err, &ce) || ce.Site != "disk/a" {
+		t.Fatalf("error %v does not carry the first failing backup's site (got %+v)", err, ce)
+	}
+	// The double fault must never be conflated with "no image": a fresh
+	// pair is a clean cold start, not an error.
+	if errors.Is(err, disk.ErrNoImage) {
+		t.Fatalf("double device fault classified as ErrNoImage: %v", err)
+	}
+}
+
+// TestChooseBackupClassificationMatrix pins the ErrNoImage-vs-device-error
+// distinction across the pairings that matter: "no image" means a clean
+// cold start or a plain fallback, a device error only aborts when no
+// complete image survives anywhere.
+func TestChooseBackupClassificationMatrix(t *testing.T) {
+	fresh := func() *disk.Backup { return pBackup(t, disk.NewMem()) }
+	complete := func(epoch uint64) *disk.Backup {
+		b := pBackup(t, disk.NewMem())
+		if err := b.WriteHeader(disk.Header{Epoch: epoch, AsOfTick: epoch * 10, Complete: true}); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	sick := func() *disk.Backup {
+		dev := disk.NewMem()
+		if err := pBackup(t, dev).WriteHeader(disk.Header{Epoch: 9, Complete: true}); err != nil {
+			t.Fatal(err)
+		}
+		return pBackup(t, chaos.WrapDevice(dev, 7, "disk/sick", chaos.DeviceFaults{ReadErrEvery: 1}))
+	}
+
+	// Fresh + fresh: ErrNoImage on both classifies as a cold start — no
+	// error, no image chosen.
+	if idx, _, err := ChooseBackup(fresh(), fresh()); err != nil || idx != -1 {
+		t.Fatalf("fresh pair: idx=%d err=%v, want cold start (-1, nil)", idx, err)
+	}
+	// Fresh + complete: the lone image wins; the ErrNoImage side is not an
+	// error.
+	if idx, h, err := ChooseBackup(fresh(), complete(4)); err != nil || idx != 1 || h.Epoch != 4 {
+		t.Fatalf("fresh+complete: idx=%d epoch=%d err=%v, want backup 1 epoch 4", idx, h.Epoch, err)
+	}
+	// Sick + complete: a device error on one backup degrades to the
+	// survivor without surfacing the error.
+	if idx, h, err := ChooseBackup(sick(), complete(4)); err != nil || idx != 1 || h.Epoch != 4 {
+		t.Fatalf("sick+complete: idx=%d epoch=%d err=%v, want backup 1 epoch 4", idx, h.Epoch, err)
+	}
+	// Sick + fresh: the broken backup may hold the only state; a cold
+	// start would silently discard it, so this is an error — and a typed
+	// device error, not ErrNoImage.
+	if _, _, err := ChooseBackup(sick(), fresh()); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("sick+fresh: err=%v, want the wrapped injected device fault", err)
+	}
+}

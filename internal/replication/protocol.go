@@ -37,7 +37,8 @@ import (
 )
 
 // protocolVersion gates the handshake; both ends must match exactly.
-const protocolVersion = 1
+// Version 2 added the mandatory resume frame after the welcome.
+const protocolVersion = 2
 
 // magic opens the hello frame, so a mis-wired connection fails fast with a
 // clear error instead of a CRC mismatch.
@@ -58,6 +59,13 @@ const (
 	// promotion always syncs before the engine is handed over), exactly
 	// like a primary's.
 	ftAck byte = 7 // tick u64
+	// ftResume is the standby's one mandatory frame after the welcome: 0
+	// requests a fresh bootstrap snapshot; v>0 says "my engine stands at
+	// tick v-1's boundary — skip the snapshot and stream from tick v-1".
+	// The +1 bias keeps a standby resuming at tick 0 distinguishable from
+	// a fresh one. Reconnecting standbys (StartResilientStandby) use it to
+	// pick the stream back up from their durable watermark.
+	ftResume byte = 9 // nextTick+1 u64, or 0 for a fresh bootstrap
 )
 
 // maxFrameSize bounds one frame; larger lengths mark a corrupt or hostile

@@ -290,6 +290,9 @@ func TestBackpressureBoundsInFlightTicks(t *testing.T) {
 	if scratch, err = writeFrame(sc, scratch, encodeHello(ftWelcome, local)); err != nil {
 		t.Fatal(err)
 	}
+	if scratch, err = writeFrame(sc, scratch, u64Frame(ftResume, 0)); err != nil {
+		t.Fatal(err)
+	}
 	for {
 		if body, rbuf, err = readFrame(sc, rbuf); err != nil {
 			t.Fatal(err)

@@ -133,23 +133,43 @@ func (s *Shipper) ship() error {
 		return err
 	}
 
-	// Bootstrap: a consistent image as of nextTick-1, shipped in chunks.
-	// The engine keeps ticking while this streams; the WAL retains
-	// everything from nextTick for us (NeedFrom below).
-	nextTick, snap, err := s.e.Snapshot()
+	// Resume negotiation: the standby states where its engine stands. A
+	// fresh standby (0) gets the full bootstrap; a reconnecting one (v>0)
+	// skips the snapshot and the stream picks up at tick v-1 — its own WAL
+	// and checkpoints already cover everything below.
+	body, rbuf, err = readFrame(s.conn, rbuf)
+	if err != nil {
+		return fmt.Errorf("replication: resume: %w", err)
+	}
+	resume, err := decodeU64(ftResume, body)
 	if err != nil {
 		return err
 	}
-	s.sub.NeedFrom(nextTick)
-	s.mu.Lock()
-	s.stats.StartTick = nextTick
-	s.stats.SnapshotBytes = int64(len(snap))
-	s.mu.Unlock()
 
-	if scratch, err = sendSnapshot(s.conn, scratch, nextTick, snap); err != nil {
-		return err
+	var nextTick uint64
+	if resume == 0 {
+		// Bootstrap: a consistent image as of nextTick-1, shipped in
+		// chunks. The engine keeps ticking while this streams; the WAL
+		// retains everything from nextTick for us (NeedFrom below).
+		var snap []byte
+		if nextTick, snap, err = s.e.Snapshot(); err != nil {
+			return err
+		}
+		s.sub.NeedFrom(nextTick)
+		s.mu.Lock()
+		s.stats.StartTick = nextTick
+		s.stats.SnapshotBytes = int64(len(snap))
+		s.mu.Unlock()
+		if scratch, err = sendSnapshot(s.conn, scratch, nextTick, snap); err != nil {
+			return err
+		}
+	} else {
+		nextTick = resume - 1
+		s.sub.NeedFrom(nextTick)
+		s.mu.Lock()
+		s.stats.StartTick = nextTick
+		s.mu.Unlock()
 	}
-	snap = nil // the copy is on the wire; free the slab-sized buffer
 
 	go s.ackLoop()
 
@@ -199,9 +219,10 @@ func (s *Shipper) ship() error {
 		s.stats.BytesShipped += int64(len(frame))
 		s.stats.Shipped, s.stats.HasShipped = tick, true
 		s.mu.Unlock()
-		// Ticks below the shipped frontier are on the wire; the primary's
-		// log no longer needs to retain them for this subscriber.
-		s.sub.NeedFrom(tick + 1)
+		// Retention deliberately does NOT advance here: ticks in
+		// (acked, shipped] stay in the primary's log until the standby
+		// acknowledges them (ackLoop), so a severed connection can resume
+		// from the standby's durable watermark instead of re-bootstrapping.
 	}
 }
 
@@ -260,6 +281,10 @@ func (s *Shipper) ackLoop() {
 		s.stats.Acked, s.stats.HasAcked = tick, true
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		// Ack-based retention: everything at or below the acked tick is
+		// applied (and durable per the standby's sync policy) on the other
+		// end; only then may the primary's log reclaim it.
+		s.sub.NeedFrom(tick + 1)
 	}
 }
 

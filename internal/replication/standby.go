@@ -23,9 +23,14 @@ type StandbyStats struct {
 	TicksApplied int64
 	Applied      uint64
 	HasApplied   bool
+	// Sessions counts connection attempts and Reconnects completed stream
+	// sessions that ended retryably (both stay 0/1-ish for a plain
+	// single-connection standby, and grow under StartResilientStandby).
+	Sessions   int
+	Reconnects int
 }
 
-// Standby mirrors a primary over one connection into its own engine
+// Standby mirrors a primary over a connection into its own engine
 // directory: it receives the bootstrap snapshot, opens a standby engine,
 // applies every streamed tick through the engine's own log and
 // checkpointer, and acknowledges each applied tick back to the shipper.
@@ -33,18 +38,27 @@ type StandbyStats struct {
 // When the stream ends — the primary died, the network cut, or the
 // shipper was stopped — the standby seals at the last *complete* tick
 // frame (a partial frame never reaches the engine: frames are
-// length-prefixed and CRC-checked) and Done is closed. Promote then turns
-// the warm engine into the new primary.
+// length-prefixed and CRC-checked). A plain standby (StartStandby) then
+// closes Done; a resilient one (StartResilientStandby) redials with capped
+// exponential backoff and resumes the stream from its durable watermark.
+// Promote turns the warm engine into the new primary either way.
 type Standby struct {
-	conn net.Conn
 	opts engine.Options
 
-	mu    sync.Mutex
-	e     *engine.Engine
-	stats StandbyStats
-	err   error // what ended (or aborted) the stream
-	state int   // standbyRunning → standbySealed → standbyPromoted/Closed
+	// dial is set only by StartResilientStandby; nil means one session on
+	// the conn passed to StartStandby.
+	dial  func() (net.Conn, error)
+	ropts ResilientOptions
 
+	mu       sync.Mutex
+	conn     net.Conn // current connection (for shutdown); mu-guarded
+	e        *engine.Engine
+	stats    StandbyStats
+	err      error // what ended (or aborted) the stream
+	state    int   // standbyRunning → standbyPromoted/Closed
+	stopping bool
+
+	stop  chan struct{} // closed by Promote/Close to end the session loop
 	ready chan struct{} // closed once the bootstrap snapshot is installed
 	done  chan struct{} // closed when the stream has ended and the applier joined
 }
@@ -67,6 +81,7 @@ func StartStandby(opts engine.Options, conn net.Conn) (*Standby, error) {
 	sb := &Standby{
 		conn:  conn,
 		opts:  opts,
+		stop:  make(chan struct{}),
 		ready: make(chan struct{}),
 		done:  make(chan struct{}),
 	}
@@ -75,27 +90,42 @@ func StartStandby(opts engine.Options, conn net.Conn) (*Standby, error) {
 }
 
 func (sb *Standby) run() {
-	err := sb.serve()
+	defer close(sb.done)
+	if sb.dial == nil {
+		sb.mu.Lock()
+		conn := sb.conn
+		sb.stats.Sessions++
+		sb.mu.Unlock()
+		err := sb.serveConn(conn)
+		sb.seal(err)
+		conn.Close() //nolint:errcheck
+		return
+	}
+	sb.runResilient()
+}
+
+// seal records the stream's end cause (first writer wins).
+func (sb *Standby) seal(err error) {
 	sb.mu.Lock()
 	if sb.err == nil {
 		sb.err = err // always non-nil: a stream is ended by some error
 	}
 	sb.mu.Unlock()
-	sb.conn.Close() //nolint:errcheck
-	close(sb.done)
 }
 
-// serve runs the standby's whole session on one goroutine: handshake,
-// bootstrap, then the ingest/ack loop. Its return error is the stream's end
-// cause — io.EOF or a closed connection is the normal "primary died" seal.
-func (sb *Standby) serve() error {
+// serveConn runs one stream session on conn: handshake, resume negotiation,
+// bootstrap if this standby has no engine yet, then the ingest/ack loop.
+// Its return error is the session's end cause — io.EOF or a closed
+// connection is the normal "primary died" seal. Errors that redialing
+// cannot fix are wrapped in *fatalError.
+func (sb *Standby) serveConn(conn net.Conn) error {
 	local := hello{
 		objects:  uint64(sb.opts.Table.NumObjects()),
 		objSize:  uint32(sb.opts.Table.ObjSize),
 		cellSize: uint32(sb.opts.Table.CellSize),
 	}
 	var rbuf, scratch []byte
-	body, rbuf, err := readFrame(sb.conn, rbuf)
+	body, rbuf, err := readFrame(conn, rbuf)
 	if err != nil {
 		return fmt.Errorf("replication: handshake: %w", err)
 	}
@@ -104,40 +134,65 @@ func (sb *Standby) serve() error {
 		return err
 	}
 	if err := local.check(peer); err != nil {
-		return err
+		return &fatalError{err} // geometry never changes; retrying cannot help
 	}
-	if scratch, err = writeFrame(sb.conn, scratch, encodeHello(ftWelcome, local)); err != nil {
+	if scratch, err = writeFrame(conn, scratch, encodeHello(ftWelcome, local)); err != nil {
 		return fmt.Errorf("replication: handshake: %w", err)
 	}
 
-	// Bootstrap: collect the snapshot image, then open the standby engine
-	// from it (OpenStandby persists it as the bootstrap checkpoint image,
-	// so the standby is recoverable before the first streamed tick lands).
-	nextTick, snap, rbuf, err := recvSnapshot(sb.conn, rbuf, uint64(sb.opts.Table.StateBytes()))
-	if err != nil {
-		return err
-	}
-	total := uint64(len(snap))
-	e, err := engine.OpenStandby(sb.opts, nextTick, snap)
-	if err != nil {
-		return err
-	}
 	sb.mu.Lock()
-	sb.e = e
-	sb.stats.StartTick = nextTick
-	sb.stats.SnapshotBytes = int64(total)
-	if nextTick > 0 {
-		sb.stats.Applied, sb.stats.HasApplied = nextTick-1, true
-	}
+	e := sb.e
 	sb.mu.Unlock()
-	close(sb.ready)
-	// Acknowledge the bootstrap: the snapshot covers every tick below
-	// nextTick and is durably persisted as the standby's first checkpoint
-	// image, so the shipper's ack watermark starts fully covered — a
-	// caught-up standby is observable even when nothing streams.
-	if nextTick > 0 {
-		if scratch, err = writeFrame(sb.conn, scratch, u64Frame(ftAck, nextTick-1)); err != nil {
+	if e == nil {
+		// Fresh standby: request the bootstrap snapshot, then open the
+		// engine from it (OpenStandby persists it as the bootstrap
+		// checkpoint image, so the standby is recoverable before the first
+		// streamed tick lands).
+		if scratch, err = writeFrame(conn, scratch, u64Frame(ftResume, 0)); err != nil {
+			return fmt.Errorf("replication: resume: %w", err)
+		}
+		nextTick, snap, nbuf, err := recvSnapshot(conn, rbuf, uint64(sb.opts.Table.StateBytes()))
+		if err != nil {
 			return err
+		}
+		rbuf = nbuf
+		total := uint64(len(snap))
+		if e, err = engine.OpenStandby(sb.opts, nextTick, snap); err != nil {
+			return &fatalError{err} // a broken local dir stays broken
+		}
+		sb.mu.Lock()
+		sb.e = e
+		sb.stats.StartTick = nextTick
+		sb.stats.SnapshotBytes = int64(total)
+		if nextTick > 0 {
+			sb.stats.Applied, sb.stats.HasApplied = nextTick-1, true
+		}
+		sb.mu.Unlock()
+		close(sb.ready)
+		// Acknowledge the bootstrap: the snapshot covers every tick below
+		// nextTick and is durably persisted as the standby's first
+		// checkpoint image, so the shipper's ack watermark starts fully
+		// covered — a caught-up standby is observable even when nothing
+		// streams.
+		if nextTick > 0 {
+			if scratch, err = writeFrame(conn, scratch, u64Frame(ftAck, nextTick-1)); err != nil {
+				return err
+			}
+		}
+	} else {
+		// Reconnect: the engine already holds everything below NextTick
+		// (its own WAL + checkpoints), so skip the snapshot and have the
+		// stream pick up exactly where it cut. The +1 bias distinguishes
+		// "resume at tick 0" from "fresh".
+		next := e.NextTick()
+		if scratch, err = writeFrame(conn, scratch, u64Frame(ftResume, next+1)); err != nil {
+			return fmt.Errorf("replication: resume: %w", err)
+		}
+		// Re-seed the new session's ack watermark with the durable state.
+		if next > 0 {
+			if scratch, err = writeFrame(conn, scratch, u64Frame(ftAck, next-1)); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -146,7 +201,7 @@ func (sb *Standby) serve() error {
 	// A read error at any byte position is the seal point — the partial
 	// frame (if any) is discarded and every fully applied tick stands.
 	for {
-		body, rbuf, err = readFrame(sb.conn, rbuf)
+		body, rbuf, err = readFrame(conn, rbuf)
 		if err != nil {
 			return err // stream end: sealed at the last complete tick
 		}
@@ -155,15 +210,33 @@ func (sb *Standby) serve() error {
 		}
 		tick := binary.LittleEndian.Uint64(body[1:])
 		if err := e.IngestReplicated(tick, body[9:]); err != nil {
+			// A gap here means the wire lost a frame (e.g. an injected
+			// drop): retryable — the next session resumes at the engine's
+			// tick and closes the gap from the primary's retained log.
 			return err
 		}
 		sb.mu.Lock()
 		sb.stats.TicksApplied++
 		sb.stats.Applied, sb.stats.HasApplied = tick, true
 		sb.mu.Unlock()
-		if scratch, err = writeFrame(sb.conn, scratch, u64Frame(ftAck, tick)); err != nil {
+		if scratch, err = writeFrame(conn, scratch, u64Frame(ftAck, tick)); err != nil {
 			return err
 		}
+	}
+}
+
+// shutdownStream ends the session loop: the stop channel halts redialing
+// and the current connection is cut so a blocked read returns.
+func (sb *Standby) shutdownStream() {
+	sb.mu.Lock()
+	if !sb.stopping {
+		sb.stopping = true
+		close(sb.stop)
+	}
+	conn := sb.conn
+	sb.mu.Unlock()
+	if conn != nil {
+		conn.Close() //nolint:errcheck // cut the stream; idempotent
 	}
 }
 
@@ -172,7 +245,9 @@ func (sb *Standby) serve() error {
 func (sb *Standby) Ready() <-chan struct{} { return sb.ready }
 
 // Done is closed when the stream has ended — however it ended — and the
-// applier goroutine has sealed the engine at the last complete tick.
+// applier goroutine has sealed the engine at the last complete tick. A
+// resilient standby closes Done only when it stops retrying (fatal error,
+// MaxSessions, or Promote/Close).
 func (sb *Standby) Done() <-chan struct{} { return sb.done }
 
 // Err returns the cause of the stream end (io.EOF / closed-connection
@@ -197,7 +272,7 @@ func (sb *Standby) Stats() StandbyStats {
 // Promote is the warm path whose wall time the failovertime experiment
 // compares against cold checkpoint recovery.
 func (sb *Standby) Promote() (*engine.Engine, error) {
-	sb.conn.Close() //nolint:errcheck // cut the stream; idempotent
+	sb.shutdownStream()
 	<-sb.done
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
@@ -221,7 +296,7 @@ func (sb *Standby) Promote() (*engine.Engine, error) {
 // applier joined, and the warm engine discarded. A promoted standby's
 // engine is the caller's; Close then only tidies the session.
 func (sb *Standby) Close() error {
-	sb.conn.Close() //nolint:errcheck
+	sb.shutdownStream()
 	<-sb.done
 	sb.mu.Lock()
 	defer sb.mu.Unlock()

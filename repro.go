@@ -24,6 +24,7 @@ package repro
 
 import (
 	"net"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/costmodel"
@@ -199,4 +200,51 @@ func StartPrimary(e *Engine, conn net.Conn, opts ShipperOptions) (*Shipper, erro
 // recovery of the primary would have produced.
 func StartStandby(opts EngineOptions, conn net.Conn) (*Standby, error) {
 	return replication.StartStandby(opts, conn)
+}
+
+// Backoff is a capped exponential delay sequence for reconnect loops.
+type Backoff = replication.Backoff
+
+// ResilientOptions tunes a reconnecting replication supervisor.
+type ResilientOptions = replication.ResilientOptions
+
+// ResilientShipper keeps a primary streaming to a reconnecting standby
+// across link failures, retaining unacknowledged log records in between.
+type ResilientShipper = replication.ResilientShipper
+
+// StartResilientPrimary attaches a reconnecting shipper: each session is a
+// plain shipper, and the primary's log retains everything above the
+// standby's acknowledged watermark so a cut stream resumes without a
+// re-bootstrap. dial is called once per session attempt.
+func StartResilientPrimary(e *Engine, dial func() (net.Conn, error), opts ShipperOptions, ropts ResilientOptions) (*ResilientShipper, error) {
+	return replication.StartResilientShipper(e, dial, opts, ropts)
+}
+
+// StartResilientStandby opens a standby that redials the primary with
+// capped exponential backoff whenever the stream cuts, resuming from its
+// engine's durable watermark with no lost or repeated ticks.
+func StartResilientStandby(opts EngineOptions, dial func() (net.Conn, error), ropts ResilientOptions) (*Standby, error) {
+	return replication.StartResilientStandby(opts, dial, ropts)
+}
+
+// NetTimeoutError is the typed error every bounded network wait below
+// surfaces on deadline; it unwraps to the underlying net error.
+type NetTimeoutError = replication.NetTimeoutError
+
+// DialTimeout connects to addr within timeout (<=0 waits forever); a
+// timeout surfaces as a typed *NetTimeoutError.
+func DialTimeout(addr string, timeout time.Duration) (net.Conn, error) {
+	return replication.Dial(addr, timeout)
+}
+
+// AcceptWithin accepts one connection within timeout (<=0 waits forever);
+// a timeout surfaces as a typed *NetTimeoutError.
+func AcceptWithin(ln net.Listener, timeout time.Duration) (net.Conn, error) {
+	return replication.AcceptWithin(ln, timeout)
+}
+
+// NewIdleConn bounds every read on conn with a rolling deadline, turning a
+// silently dead peer into a typed *NetTimeoutError instead of a hang.
+func NewIdleConn(conn net.Conn, idle time.Duration) net.Conn {
+	return replication.NewIdleConn(conn, idle)
 }
