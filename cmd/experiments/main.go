@@ -5,11 +5,12 @@
 //	experiments -exp all -scale quick
 //	experiments -exp fig2a,fig2b,fig2c -scale full
 //	experiments -exp fig6 -scale full -out results/
+//	experiments -exp list
 //
-// Experiments: table1, table2, table3, table5, fig2a, fig2b, fig2c, fig3,
-// fig4a, fig4b, fig4c, fig5, fig6, ablation-c, ablation-sorted, ablation-hw,
-// logging, ksafety, multiserver, sharding, recoverytime, failovertime,
-// scenariobench, clusterbench, chaosbench, all. Output is printed as
+// The experiment set is a registry (see experimentTable below): -exp list
+// prints every registered name, the -exp flag's usage text is generated
+// from the same table, and an unknown name errors out listing it — the doc,
+// the flag and the dispatcher cannot drift apart. Output is printed as
 // aligned text tables; -out additionally writes CSV files per figure.
 //
 // -shards N runs the fig6 validation engine sharded (N apply workers and
@@ -47,6 +48,15 @@
 // faults fired and the degradation path held; any "failed" cell exits
 // non-zero, printing the (seed, site) pair that replays it.
 // -chaos-scenarios, -chaos-sites and -chaos-seeds trim the matrix.
+//
+// gatewaybench runs the session tier (internal/session) over the real
+// cluster: a simulated client population connects through a gateway,
+// per-tick intents flow in and interest-managed deltas flow back out, per
+// churn profile × cluster size. It reports sustainable clients/node under
+// the paper's 50ms tick budget, intent→visible latency, churn absorbed by
+// the login/reconnect storm profiles, and crash equivalence against an
+// independent reference instance. -gateway-profiles, -gateway-sizes and
+// -gateway-clients trim the sweep.
 package main
 
 import (
@@ -61,11 +71,57 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/session"
 )
+
+// experimentTable is the single registry the -exp flag's usage text, the
+// list subcommand, unknown-name errors, and the dispatcher all derive from.
+// Entries run in table order; an entry with several names runs once when
+// any of them is selected (its runner re-checks want for sub-figures).
+var experimentTable = []struct {
+	names []string
+	run   func(r *runner, want func(string) bool)
+}{
+	{[]string{"table1", "table2"}, func(r *runner, _ func(string) bool) { r.tables12() }},
+	{[]string{"table3"}, func(r *runner, _ func(string) bool) { r.table3() }},
+	{[]string{"fig2a", "fig2b", "fig2c"}, func(r *runner, want func(string) bool) {
+		r.fig2(want("fig2a"), want("fig2b"), want("fig2c"))
+	}},
+	{[]string{"fig3"}, func(r *runner, _ func(string) bool) { r.fig3() }},
+	{[]string{"fig4a", "fig4b", "fig4c"}, func(r *runner, want func(string) bool) {
+		r.fig4(want("fig4a"), want("fig4b"), want("fig4c"))
+	}},
+	{[]string{"fig5", "table5"}, func(r *runner, _ func(string) bool) { r.fig5() }},
+	{[]string{"fig6"}, func(r *runner, _ func(string) bool) { r.fig6() }},
+	{[]string{"ablation-c"}, func(r *runner, _ func(string) bool) { r.ablationC() }},
+	{[]string{"ablation-sorted"}, func(r *runner, _ func(string) bool) { r.ablationSorted() }},
+	{[]string{"ablation-hw"}, func(r *runner, _ func(string) bool) { r.ablationHW() }},
+	{[]string{"logging"}, func(r *runner, _ func(string) bool) { r.logging() }},
+	{[]string{"ksafety"}, func(r *runner, _ func(string) bool) { r.ksafety() }},
+	{[]string{"multiserver"}, func(r *runner, _ func(string) bool) { r.multiserver() }},
+	{[]string{"sharding"}, func(r *runner, _ func(string) bool) { r.sharding() }},
+	{[]string{"recoverytime"}, func(r *runner, _ func(string) bool) { r.recoverytime() }},
+	{[]string{"failovertime"}, func(r *runner, _ func(string) bool) { r.failovertime() }},
+	{[]string{"scenariobench"}, func(r *runner, _ func(string) bool) { r.scenariobench() }},
+	{[]string{"clusterbench"}, func(r *runner, _ func(string) bool) { r.clusterbench() }},
+	{[]string{"chaosbench"}, func(r *runner, _ func(string) bool) { r.chaosbench() }},
+	{[]string{"gatewaybench"}, func(r *runner, _ func(string) bool) { r.gatewaybench() }},
+}
+
+// experimentNames flattens the registry, in table order.
+func experimentNames() []string {
+	var names []string
+	for _, e := range experimentTable {
+		names = append(names, e.names...)
+	}
+	return names
+}
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments (see doc)")
+		expFlag = flag.String("exp", "all",
+			"comma-separated experiments, 'all', or 'list' (registered: "+
+				strings.Join(experimentNames(), ", ")+")")
 		scaleFlag = flag.String("scale", "quick", "quick (1/10 scale) or full (paper scale)")
 		outDir    = flag.String("out", "", "directory for CSV output (optional)")
 		gnuplot   = flag.Bool("gnuplot", false, "also write gnuplot scripts next to the CSVs")
@@ -84,6 +140,9 @@ func main() {
 		chaosScen = flag.String("chaos-scenarios", "", "comma-separated chaosbench scenario filter (empty = flashcrowd,hotspot,migration)")
 		chaosSite = flag.String("chaos-sites", "", "comma-separated chaosbench fault sites (empty = disk,replink,cluster)")
 		chaosSeed = flag.String("chaos-seeds", "", "comma-separated chaosbench schedule seeds (empty = 1,2,3)")
+		gwProf    = flag.String("gateway-profiles", "", "comma-separated gatewaybench churn profiles (empty = "+joinProfiles()+")")
+		gwSize    = flag.String("gateway-sizes", "", "comma-separated gatewaybench node counts (empty = 1,2,4)")
+		gwClients = flag.Int("gateway-clients", 0, "gatewaybench simulated client population (0 = scale default)")
 		benchScen = flag.String("bench-scenarios", "", "comma-separated scenariobench scenario filter (empty = all registered scenarios)")
 		benchDisk = flag.Float64("bench-disk", 0, "scenariobench backup throttle in bytes/sec (0 = bench default: 10x the scale's paper disk, <0 = unthrottled); changing it makes reports incomparable with the committed baseline")
 		benchOut  = flag.String("bench-out", "BENCH_scenarios.json", "scenariobench report path")
@@ -108,77 +167,66 @@ func main() {
 	for _, e := range strings.Split(*expFlag, ",") {
 		wanted[strings.TrimSpace(e)] = true
 	}
+	if wanted["list"] {
+		fmt.Println(strings.Join(experimentNames(), "\n"))
+		return
+	}
+	known := map[string]bool{"all": true}
+	for _, name := range experimentNames() {
+		known[name] = true
+	}
+	for name := range wanted {
+		if !known[name] {
+			fatalf("unknown experiment %q (have: all, %s)", name, strings.Join(experimentNames(), ", "))
+		}
+	}
 	all := wanted["all"]
 	want := func(name string) bool { return all || wanted[name] }
 
 	r := &runner{scale: scale, seed: *seed, outDir: *outDir, gnuplot: *gnuplot,
-		shards: *shards, recLog: *recLog, recDisk: *recDisk,
+		diskBench: *diskBench,
+		shards:    *shards, recLog: *recLog, recDisk: *recDisk,
 		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck,
 		clustScen: *clustScen, clustSize: *clustSize,
 		chaosScen: *chaosScen, chaosSite: *chaosSite, chaosSeed: *chaosSeed,
+		gwProf: *gwProf, gwSize: *gwSize, gwClients: *gwClients,
 		benchScen: *benchScen, benchDisk: *benchDisk, benchOut: *benchOut, benchBase: *benchBase,
 		writeBase: *writeBase, gate: *gate, gateTol: *gateTol}
 
-	if want("table1") || want("table2") {
-		r.tables12()
-	}
-	if want("table3") {
-		r.table3(*diskBench)
-	}
-	if want("fig2a") || want("fig2b") || want("fig2c") {
-		r.fig2(want("fig2a") || all, want("fig2b") || all, want("fig2c") || all)
-	}
-	if want("fig3") {
-		r.fig3()
-	}
-	if want("fig4a") || want("fig4b") || want("fig4c") {
-		r.fig4(want("fig4a") || all, want("fig4b") || all, want("fig4c") || all)
-	}
-	if want("fig5") || want("table5") {
-		r.fig5()
-	}
-	if want("fig6") {
-		r.fig6()
-	}
-	if want("ablation-c") {
-		r.ablationC()
-	}
-	if want("ablation-sorted") {
-		r.ablationSorted()
-	}
-	if want("ablation-hw") {
-		r.ablationHW()
-	}
-	if want("logging") {
-		r.logging()
-	}
-	if want("ksafety") {
-		r.ksafety()
-	}
-	if want("multiserver") {
-		r.multiserver()
-	}
-	if want("sharding") {
-		r.sharding()
-	}
-	if want("recoverytime") {
-		r.recoverytime()
-	}
-	if want("failovertime") {
-		r.failovertime()
-	}
-	if want("scenariobench") {
-		r.scenariobench()
-	}
-	if want("clusterbench") {
-		r.clusterbench()
-	}
-	if want("chaosbench") {
-		r.chaosbench()
+	for _, e := range experimentTable {
+		hit := all
+		for _, name := range e.names {
+			if wanted[name] {
+				hit = true
+			}
+		}
+		if hit {
+			e.run(r, want)
+		}
 	}
 	if r.ran == 0 {
 		fatalf("no experiment matched %q", *expFlag)
 	}
+}
+
+// joinProfiles renders the session churn profiles for the flag usage text.
+func joinProfiles() string {
+	var names []string
+	for _, p := range session.Profiles() {
+		names = append(names, string(p))
+	}
+	return strings.Join(names, ",")
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func fatalf(format string, args ...interface{}) {
@@ -191,6 +239,7 @@ type runner struct {
 	seed      int64
 	outDir    string
 	gnuplot   bool
+	diskBench bool
 	shards    int
 	recLog    int
 	recDisk   float64
@@ -204,6 +253,9 @@ type runner struct {
 	chaosScen string
 	chaosSite string
 	chaosSeed string
+	gwProf    string
+	gwSize    string
+	gwClients int
 	benchScen string
 	benchDisk float64
 	benchOut  string
@@ -264,9 +316,9 @@ func (r *runner) tables12() {
 	r.emitTable("Table 2: subroutine implementations", t2)
 }
 
-func (r *runner) table3(diskBench bool) {
+func (r *runner) table3() {
 	r.timed("table3", func() {
-		p, err := experiments.MeasureTable3(diskBench, "")
+		p, err := experiments.MeasureTable3(r.diskBench, "")
 		if err != nil {
 			fatalf("table3: %v", err)
 		}
@@ -395,17 +447,8 @@ func (r *runner) multiserver() {
 
 func (r *runner) clusterbench() {
 	r.timed("clusterbench", func() {
-		split := func(s string) []string {
-			var out []string
-			for _, v := range strings.Split(s, ",") {
-				if v = strings.TrimSpace(v); v != "" {
-					out = append(out, v)
-				}
-			}
-			return out
-		}
 		var sizes []int
-		for _, v := range split(r.clustSize) {
+		for _, v := range splitList(r.clustSize) {
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 1 {
 				fatalf("clusterbench: bad -cluster-sizes entry %q", v)
@@ -413,7 +456,7 @@ func (r *runner) clusterbench() {
 			sizes = append(sizes, n)
 		}
 		cb, err := experiments.RunClusterBench(r.scale, r.seed, experiments.ClusterBenchOptions{
-			Scenarios: split(r.clustScen),
+			Scenarios: splitList(r.clustScen),
 			Sizes:     sizes,
 		})
 		if err != nil {
@@ -440,17 +483,8 @@ func (r *runner) clusterbench() {
 
 func (r *runner) chaosbench() {
 	r.timed("chaosbench", func() {
-		split := func(s string) []string {
-			var out []string
-			for _, v := range strings.Split(s, ",") {
-				if v = strings.TrimSpace(v); v != "" {
-					out = append(out, v)
-				}
-			}
-			return out
-		}
 		var seeds []int64
-		for _, v := range split(r.chaosSeed) {
+		for _, v := range splitList(r.chaosSeed) {
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				fatalf("chaosbench: bad -chaos-seeds entry %q", v)
@@ -458,8 +492,8 @@ func (r *runner) chaosbench() {
 			seeds = append(seeds, n)
 		}
 		rep, err := experiments.RunChaosBench(r.scale, experiments.ChaosBenchOptions{
-			Scenarios: split(r.chaosScen),
-			Sites:     split(r.chaosSite),
+			Scenarios: splitList(r.chaosScen),
+			Sites:     splitList(r.chaosSite),
 			Seeds:     seeds,
 		})
 		if err != nil {
@@ -480,6 +514,46 @@ func (r *runner) chaosbench() {
 		}
 		fmt.Printf("chaos equivalence: %d fault schedules, %d degraded cleanly, 0 failed — every cell byte-identical to its never-faulted reference\n",
 			len(rep.Cells), rep.Degraded())
+	})
+}
+
+func (r *runner) gatewaybench() {
+	r.timed("gatewaybench", func() {
+		var profiles []session.Profile
+		for _, v := range splitList(r.gwProf) {
+			profiles = append(profiles, session.Profile(v))
+		}
+		var sizes []int
+		for _, v := range splitList(r.gwSize) {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				fatalf("gatewaybench: bad -gateway-sizes entry %q", v)
+			}
+			sizes = append(sizes, n)
+		}
+		gb, err := experiments.RunGatewayBench(r.scale, r.seed, experiments.GatewayBenchOptions{
+			Profiles: profiles,
+			Sizes:    sizes,
+			Clients:  r.gwClients,
+		})
+		if err != nil {
+			fatalf("gatewaybench: %v", err)
+		}
+		r.emitTable("Gateway bench: churn profile × nodes (client capacity / intent→visible latency / churn / crash equivalence)",
+			gb.Table())
+		r.emit("gatewaybench-capacity", &gb.Capacity)
+		r.emit("gatewaybench-latency", &gb.Latency)
+		// Identity covers both legs: per-tick update sets matched the
+		// independent reference instance tick for tick, and the recovered
+		// world matched its final bytes.
+		for _, row := range gb.Rows {
+			if !row.Identical {
+				fatalf("gatewaybench: %s/nodes=%d NOT byte-identical to the reference gateway instance",
+					row.Profile, row.Nodes)
+			}
+		}
+		fmt.Printf("session crash equivalence: all %d rows byte-identical to an independent gateway+driver reference\n",
+			len(gb.Rows))
 	})
 }
 
@@ -549,16 +623,8 @@ func (r *runner) failovertime() {
 
 func (r *runner) scenariobench() {
 	r.timed("scenariobench", func() {
-		var scens []string
-		if r.benchScen != "" {
-			for _, s := range strings.Split(r.benchScen, ",") {
-				if s = strings.TrimSpace(s); s != "" {
-					scens = append(scens, s)
-				}
-			}
-		}
 		rep, err := experiments.RunScenarioBench(r.scale, r.seed, experiments.ScenarioBenchOptions{
-			Scenarios:       scens,
+			Scenarios:       splitList(r.benchScen),
 			DiskBytesPerSec: r.benchDisk,
 		})
 		if err != nil {

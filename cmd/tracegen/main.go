@@ -3,6 +3,10 @@
 // Archers prototype game server (Table 5), or any registered workload
 // scenario (login storms, raids, zone migration, flash crowds, …).
 //
+// The -kind switch and its usage text are generated from the kinds registry
+// below, and the scenario list from workload.Names() — adding a generator
+// or a scenario updates the CLI without touching hand-maintained strings.
+//
 // Usage:
 //
 //	tracegen -kind zipf -updates 64000 -skew 0.8 -ticks 1000 -out zipf.trace
@@ -14,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/game"
@@ -22,9 +27,77 @@ import (
 	"repro/internal/workload"
 )
 
+// genConfig carries every parsed flag a generator may need.
+type genConfig struct {
+	ticks    int
+	seed     int64
+	updates  int
+	skew     float64
+	rows     int
+	cols     int
+	units    int
+	scenario string
+}
+
+func (c genConfig) table() gamestate.Table {
+	return gamestate.Table{Rows: c.rows, Cols: c.cols, CellSize: 4, ObjSize: 512}
+}
+
+// kinds is the generator registry the -kind switch dispatches over and the
+// usage text lists.
+var kinds = map[string]func(genConfig) (trace.Source, error){
+	"zipf": func(c genConfig) (trace.Source, error) {
+		return trace.NewZipfian(trace.ZipfianConfig{
+			Table:          c.table(),
+			UpdatesPerTick: c.updates,
+			Ticks:          c.ticks,
+			Skew:           c.skew,
+			Seed:           c.seed,
+		})
+	},
+	"game": func(c genConfig) (trace.Source, error) {
+		cfg := game.DefaultConfig()
+		cfg.Units = c.units
+		cfg.Seed = c.seed
+		mem, stats, err := game.GenerateTrace(cfg, c.ticks)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("game: %s\n", stats)
+		return mem, nil
+	},
+	"scenario": func(c genConfig) (trace.Source, error) {
+		if c.scenario == "" {
+			return nil, fmt.Errorf("-kind scenario requires -scenario (one of %s)",
+				strings.Join(workload.Names(), ", "))
+		}
+		if !workload.Registered(c.scenario) {
+			return nil, fmt.Errorf("unknown scenario %q; registered scenarios: %s",
+				c.scenario, strings.Join(workload.Names(), ", "))
+		}
+		return workload.New(c.scenario, workload.Config{
+			Table:          c.table(),
+			UpdatesPerTick: c.updates,
+			Ticks:          c.ticks,
+			Skew:           c.skew,
+			Seed:           c.seed,
+		})
+	},
+}
+
+// kindNames lists the registered generators, sorted.
+func kindNames() []string {
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
 	var (
-		kind     = flag.String("kind", "zipf", "zipf, game or scenario")
+		kind     = flag.String("kind", "zipf", "trace generator, one of "+strings.Join(kindNames(), ", "))
 		out      = flag.String("out", "", "output file (required)")
 		ticks    = flag.Int("ticks", 1000, "number of ticks")
 		seed     = flag.Int64("seed", 1, "generator seed")
@@ -39,53 +112,16 @@ func main() {
 	if *out == "" {
 		fatal(fmt.Errorf("-out is required"))
 	}
-
-	var src trace.Source
-	switch *kind {
-	case "zipf":
-		z, err := trace.NewZipfian(trace.ZipfianConfig{
-			Table:          gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512},
-			UpdatesPerTick: *updates,
-			Ticks:          *ticks,
-			Skew:           *skew,
-			Seed:           *seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		src = z
-	case "game":
-		cfg := game.DefaultConfig()
-		cfg.Units = *units
-		cfg.Seed = *seed
-		mem, stats, err := game.GenerateTrace(cfg, *ticks)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("game: %s\n", stats)
-		src = mem
-	case "scenario":
-		if *scenario == "" {
-			fatal(fmt.Errorf("-kind scenario requires -scenario (one of %s)",
-				strings.Join(workload.Names(), ", ")))
-		}
-		if !workload.Registered(*scenario) {
-			fatal(fmt.Errorf("unknown scenario %q; registered scenarios: %s",
-				*scenario, strings.Join(workload.Names(), ", ")))
-		}
-		w, err := workload.New(*scenario, workload.Config{
-			Table:          gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512},
-			UpdatesPerTick: *updates,
-			Ticks:          *ticks,
-			Skew:           *skew,
-			Seed:           *seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		src = w
-	default:
-		fatal(fmt.Errorf("unknown kind %q (zipf|game|scenario)", *kind))
+	gen, ok := kinds[*kind]
+	if !ok {
+		fatal(fmt.Errorf("unknown kind %q (%s)", *kind, strings.Join(kindNames(), "|")))
+	}
+	src, err := gen(genConfig{
+		ticks: *ticks, seed: *seed, updates: *updates, skew: *skew,
+		rows: *rows, cols: *cols, units: *units, scenario: *scenario,
+	})
+	if err != nil {
+		fatal(err)
 	}
 
 	f, err := os.Create(*out)

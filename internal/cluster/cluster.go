@@ -67,6 +67,7 @@ type TimeoutError struct {
 	Wait    time.Duration
 }
 
+// Error formats the barrier operation, tick, deadline, and lagging nodes.
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("cluster: %s barrier at tick %d timed out after %v (nodes %v still applying)",
 		e.Op, e.Tick, e.Wait, e.Waiting)
@@ -115,6 +116,75 @@ type Cluster struct {
 	// barrierLog, when non-nil, records (tick, node) apply completions for
 	// the barrier-ordering test.
 	barrierLog func(tick uint64, node int)
+
+	// commitMu guards the commit-subscription list (Subscribe/Close run on
+	// consumer goroutines; signaling runs on the coordinator goroutine).
+	commitMu   sync.Mutex
+	commitSubs []*CommitSub
+}
+
+// CommitSub is a live subscription to the cluster's tick commits, the
+// multi-node mirror of engine.TickSub's commit signal: after every barrier
+// tick (Tick or TickActions) each subscriber receives the committed tick on
+// C. The channel holds at most one pending value — a slow consumer sees the
+// newest tick, not a backlog — so consumers that must process every tick
+// (the session gateway's delta fan-out) keep their own queue of pending
+// ticks and drain it up to the signaled value.
+type CommitSub struct {
+	// C receives the latest committed tick.
+	C <-chan uint64
+	c chan uint64
+	l *Cluster
+}
+
+// Close cancels the subscription.
+func (s *CommitSub) Close() {
+	c := s.l
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	for i, sub := range c.commitSubs {
+		if sub == s {
+			c.commitSubs = append(c.commitSubs[:i], c.commitSubs[i+1:]...)
+			break
+		}
+	}
+}
+
+// signal publishes tick on the coalescing channel without ever blocking.
+func (s *CommitSub) signal(tick uint64) {
+	for {
+		select {
+		case s.c <- tick:
+			return
+		default:
+		}
+		select {
+		case <-s.c: // drop the stale value, then retry the send
+		default:
+		}
+	}
+}
+
+// SubscribeCommits registers a commit subscription. Unlike the engine's
+// SubscribeTicks it carries no log-retention semantics — the cluster's WALs
+// belong to its nodes — so it works on any cluster and never delays pruning.
+func (c *Cluster) SubscribeCommits() *CommitSub {
+	s := &CommitSub{c: make(chan uint64, 1), l: c}
+	s.C = s.c
+	c.commitMu.Lock()
+	c.commitSubs = append(c.commitSubs, s)
+	c.commitMu.Unlock()
+	return s
+}
+
+// notifyCommit signals every commit subscriber that tick committed. Called
+// on the coordinator goroutine after the barrier joined.
+func (c *Cluster) notifyCommit(tick uint64) {
+	c.commitMu.Lock()
+	defer c.commitMu.Unlock()
+	for _, s := range c.commitSubs {
+		s.signal(tick)
+	}
 }
 
 // New creates a fresh cluster: N empty node directories under opts.Dir, a
@@ -253,6 +323,7 @@ func (c *Cluster) Tick(batch []wal.Update) error {
 	}
 	tick := c.tick
 	c.tick++
+	c.notifyCommit(tick)
 	if c.mig != nil {
 		if err := c.mig.feed(tick, batch); err != nil {
 			// The range stream died mid-migration. The world must not: the
@@ -356,6 +427,7 @@ func (c *Cluster) TickActions(payloads [][]byte) error {
 		}
 	}
 	c.tick++
+	c.notifyCommit(tick)
 	return nil
 }
 

@@ -16,13 +16,17 @@ import (
 	"repro/internal/wal"
 )
 
-// slotShift is the partition grain: 64 objects per slot, one engine bitmap
+// SlotShift is the partition grain: 64 objects per slot, one engine bitmap
 // word — the same floor the engine's shard plan aligns to, so any partition
-// boundary here is also a legal shard boundary there.
-const slotShift = 6
+// boundary here is also a legal shard boundary there. It is exported because
+// the grain is shared across layers: the session tier's interest management
+// buckets area-of-interest subscriptions at the same slot granularity, so an
+// interest window is always expressible as partition slots.
+const SlotShift = 6
 
-// slotSize is 1 << slotShift objects.
-const slotSize = 1 << slotShift
+// SlotSize is 1 << SlotShift objects: the number of objects in one
+// partition/interest slot.
+const SlotSize = 1 << SlotShift
 
 // PartitionMap assigns every object to exactly one node: one owner per
 // 64-object slot. Totality is structural — a slot cannot be unowned, and an
@@ -43,7 +47,7 @@ type PartitionMap struct {
 }
 
 // slots returns the slot count for n objects.
-func slots(n int) int { return (n + slotSize - 1) / slotSize }
+func slots(n int) int { return (n + SlotSize - 1) / SlotSize }
 
 // Uniform partitions objects over at most nodes contiguous ranges,
 // mirroring the engine's shard plan: the request is rounded down to a
@@ -61,8 +65,8 @@ func Uniform(objects, nodes int) PartitionMap {
 	if target <= 1 {
 		shift = 0
 	}
-	if shift < slotShift {
-		shift = slotShift
+	if shift < SlotShift {
+		shift = SlotShift
 	}
 	effective := (objects + (1 << shift) - 1) >> shift
 	if effective < 1 {
@@ -70,7 +74,7 @@ func Uniform(objects, nodes int) PartitionMap {
 	}
 	m := PartitionMap{Objects: objects, NumNodes: effective, Owners: make([]int, slots(objects))}
 	for s := range m.Owners {
-		m.Owners[s] = s >> (shift - slotShift)
+		m.Owners[s] = s >> (shift - SlotShift)
 	}
 	return m
 }
@@ -96,7 +100,7 @@ func (m PartitionMap) Validate() error {
 }
 
 // Owner returns the node owning an object.
-func (m PartitionMap) Owner(obj int) int { return m.Owners[obj>>slotShift] }
+func (m PartitionMap) Owner(obj int) int { return m.Owners[obj>>SlotShift] }
 
 // Range is a contiguous object range [Lo, Hi).
 type Range struct {
@@ -112,11 +116,11 @@ func (m PartitionMap) NodeRanges(node int) []Range {
 		if m.Owners[s] != node {
 			continue
 		}
-		lo := s * slotSize
+		lo := s * SlotSize
 		for s+1 < len(m.Owners) && m.Owners[s+1] == node {
 			s++
 		}
-		hi := (s + 1) * slotSize
+		hi := (s + 1) * SlotSize
 		if hi > m.Objects {
 			hi = m.Objects
 		}
@@ -133,14 +137,14 @@ func (m PartitionMap) Move(lo, hi, to int) (PartitionMap, error) {
 	if lo < 0 || hi > m.Objects || lo >= hi {
 		return m, fmt.Errorf("cluster: move range [%d,%d) outside [0,%d)", lo, hi, m.Objects)
 	}
-	if lo%slotSize != 0 || (hi%slotSize != 0 && hi != m.Objects) {
-		return m, fmt.Errorf("cluster: move range [%d,%d) not aligned to %d-object slots", lo, hi, slotSize)
+	if lo%SlotSize != 0 || (hi%SlotSize != 0 && hi != m.Objects) {
+		return m, fmt.Errorf("cluster: move range [%d,%d) not aligned to %d-object slots", lo, hi, SlotSize)
 	}
 	if to < 0 || to >= m.NumNodes {
 		return m, fmt.Errorf("cluster: move to node %d of %d", to, m.NumNodes)
 	}
 	from := m.Owner(lo)
-	for s := lo >> slotShift; s < slots(hi); s++ {
+	for s := lo >> SlotShift; s < slots(hi); s++ {
 		if m.Owners[s] != from {
 			return m, fmt.Errorf("cluster: move range [%d,%d) spans owners %d and %d", lo, hi, from, m.Owners[s])
 		}
@@ -149,7 +153,7 @@ func (m PartitionMap) Move(lo, hi, to int) (PartitionMap, error) {
 		return m, fmt.Errorf("cluster: move range [%d,%d) already owned by node %d", lo, hi, to)
 	}
 	next := PartitionMap{Objects: m.Objects, NumNodes: m.NumNodes, Owners: append([]int(nil), m.Owners...)}
-	for s := lo >> slotShift; s < slots(hi); s++ {
+	for s := lo >> SlotShift; s < slots(hi); s++ {
 		next.Owners[s] = to
 	}
 	return next, nil

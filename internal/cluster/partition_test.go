@@ -70,7 +70,7 @@ func TestPartitionTotality(t *testing.T) {
 				if to == from {
 					continue
 				}
-				lo, hi := loSlot*slotSize, hiSlot*slotSize
+				lo, hi := loSlot*SlotSize, hiSlot*SlotSize
 				if hi > cur.Objects {
 					hi = cur.Objects
 				}

@@ -328,6 +328,9 @@ func (e *Engine) NextTick() uint64 { return e.tick }
 // Mode returns the engine's recovery method.
 func (e *Engine) Mode() Mode { return e.opts.Mode }
 
+// Table returns the state geometry the engine was opened with.
+func (e *Engine) Table() gamestate.Table { return e.opts.Table }
+
 // ApplyTick logs and applies one tick's update batch on the calling
 // goroutine, then runs the end-of-tick checkpoint management. It is the
 // discrete-event simulation loop's integration point: call it exactly once

@@ -31,6 +31,10 @@ type TickSub struct {
 	c    chan uint64
 	need atomic.Uint64 // first tick this subscriber still needs from the log
 	e    *Engine
+	// commitOnly marks a SubscribeCommits subscription: it receives the same
+	// commit signals but never reads the log, so it neither forces per-tick
+	// log flushes nor pins segment pruning.
+	commitOnly bool
 }
 
 // NeedFrom publishes that log records below tick are no longer needed by
@@ -84,6 +88,25 @@ func (e *Engine) SubscribeTicks() (*TickSub, error) {
 	return s, nil
 }
 
+// SubscribeCommits registers a commit-only tick subscription: C delivers the
+// latest committed tick exactly like SubscribeTicks, but the subscriber
+// declares it will never read the log — so the engine does not flush the log
+// on its behalf, the subscription works on any engine (InMemory included),
+// and log pruning ignores it (its retention watermark starts at "needs
+// nothing" and NeedFrom should not be called). It is the session gateway's
+// delta fan-out hook: the gateway rides the same commit signal the
+// replication shipper does, without the durability coupling.
+func (e *Engine) SubscribeCommits() *TickSub {
+	s := &TickSub{c: make(chan uint64, 1), e: e, commitOnly: true}
+	s.C = s.c
+	s.need.Store(^uint64(0))
+	e.replMu.Lock()
+	e.subs = append(e.subs, s)
+	e.hasSubs.Store(true)
+	e.replMu.Unlock()
+	return s
+}
+
 // notifySubs flushes the log (tail-reader visibility barrier) and signals
 // every subscriber that tick committed. Called at the end of each applied
 // or ingested tick, on the mutator goroutine, after the tick has fully
@@ -102,7 +125,14 @@ func (e *Engine) notifySubs(tick uint64) {
 		return
 	}
 	if e.log != nil {
-		_ = e.log.Flush()
+		// Flush for log followers only: a commit-only subscriber never tails
+		// the log, so a gateway-only engine keeps the buffered append path.
+		for _, s := range e.subs {
+			if !s.commitOnly {
+				_ = e.log.Flush()
+				break
+			}
+		}
 	}
 	for _, s := range e.subs {
 		s.signal(tick)

@@ -276,3 +276,42 @@ func TestOpenStandbyRejectsUsedDirAndBadGeometry(t *testing.T) {
 		t.Fatal("OpenStandby accepted ModeNone with history")
 	}
 }
+
+// TestSubscribeCommitsWorksEverywhereAndNeverPins: a commit-only
+// subscription signals on an InMemory engine (where SubscribeTicks refuses),
+// and on a durable engine it neither pins log pruning nor forces per-tick
+// flushes on the commit path.
+func TestSubscribeCommitsWorksEverywhereAndNeverPins(t *testing.T) {
+	mem, err := Open(Options{Table: testTable(), InMemory: true, Mode: ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	sub := mem.SubscribeCommits()
+	defer sub.Close()
+	for tick := 0; tick < 3; tick++ {
+		if err := mem.ApplyTick([]wal.Update{{Cell: uint32(tick), Value: 7}}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case got := <-sub.C:
+			if got != uint64(tick) {
+				t.Fatalf("signal carried tick %d, want %d", got, tick)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("no commit signal for tick %d", tick)
+		}
+	}
+
+	// Retention: a commit-only subscriber must not lower the prune floor.
+	e, err := Open(Options{Table: testTable(), Dir: t.TempDir(), Mode: ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	cs := e.SubscribeCommits()
+	defer cs.Close()
+	if got := e.retainFrom(42); got != 42 {
+		t.Fatalf("commit-only subscriber moved the prune floor to %d, want 42", got)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gamestate"
+	"repro/internal/session"
+)
+
+// TestGatewayBenchMicro runs the session-tier sweep on a tiny geometry:
+// every row must recover byte-identical to its independent reference
+// instance, the storm profiles must actually churn, and the measured legs
+// must be non-empty.
+func TestGatewayBenchMicro(t *testing.T) {
+	tab := gamestate.Table{Rows: 8192, Cols: 8, CellSize: 4, ObjSize: 512}
+	res, err := RunGatewayBench(Quick, 3, GatewayBenchOptions{
+		Sizes:           []int{1, 2},
+		Clients:         64,
+		WarmTicks:       6,
+		LiveTicks:       6,
+		UpdatesPerTick:  300,
+		Table:           &tab,
+		DiskBytesPerSec: -1, // unthrottled: this is a correctness smoke
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(session.Profiles()) * 2; len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	for _, row := range res.Rows {
+		if !row.Identical {
+			t.Errorf("%s/nodes=%d: byte identity failed", row.Profile, row.Nodes)
+		}
+		if row.WorldTick != 12 {
+			t.Errorf("%s/nodes=%d: recovered to world tick %d, want 12", row.Profile, row.Nodes, row.WorldTick)
+		}
+		if row.TickMs <= 0 || row.LatMsMean <= 0 || row.RecoveryMs <= 0 || row.ClientsPerNode <= 0 {
+			t.Errorf("%s/nodes=%d: empty measurement: %+v", row.Profile, row.Nodes, row)
+		}
+		if row.Online <= 0 || row.DeltasPerTick <= 0 {
+			t.Errorf("%s/nodes=%d: no session activity measured: %+v", row.Profile, row.Nodes, row)
+		}
+		// Logouts only come from churn (logins include the initial connect
+		// wave), so they are the signal the storm actually stormed.
+		if row.Profile != session.Steady && row.Logouts == 0 {
+			t.Errorf("%s/nodes=%d: %d logins, 0 logouts — storm profile never churned",
+				row.Profile, row.Nodes, row.Logins)
+		}
+	}
+	if !res.Identical() {
+		t.Fatal("aggregate Identical() disagrees with the rows")
+	}
+	if len(res.Capacity.Series) != len(session.Profiles()) || len(res.Latency.Series) != len(session.Profiles()) {
+		t.Fatalf("figures have %d/%d series, want %d each",
+			len(res.Capacity.Series), len(res.Latency.Series), len(session.Profiles()))
+	}
+}

@@ -24,6 +24,7 @@ type NetTimeoutError struct {
 	Err  error // the underlying net error, if any
 }
 
+// Error formats the network operation, peer address, and deadline.
 func (e *NetTimeoutError) Error() string {
 	return fmt.Sprintf("replication: %s %s timed out after %v", e.Op, e.Addr, e.Wait)
 }
@@ -31,6 +32,7 @@ func (e *NetTimeoutError) Error() string {
 // Timeout marks the error for net.Error-style checks.
 func (e *NetTimeoutError) Timeout() bool { return true }
 
+// Unwrap exposes the underlying net error to errors.Is/As chains.
 func (e *NetTimeoutError) Unwrap() error { return e.Err }
 
 // Dial connects to addr within timeout; a timeout surfaces as a typed

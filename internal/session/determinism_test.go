@@ -1,0 +1,217 @@
+package session
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// gatewayRun drives one independent gateway+driver instance over a fresh
+// in-memory world and returns the wal-encoded canonical update set of every
+// tick plus the final slab.
+func gatewayRun(t *testing.T, profile Profile, seed int64, ticks int) (perTick [][]byte, slab []byte) {
+	t.Helper()
+	table := testTable()
+	src, err := workload.New("flashcrowd", workload.Config{
+		Table: table, UpdatesPerTick: 300, Ticks: ticks, Skew: 0.8, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, err := NewGateway(Options{World: EngineWorld{E: e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	drv, err := NewDriver(DriverConfig{Gateway: g, Clients: 48, Source: src, Profile: profile, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ticks; i++ {
+		rep, err := drv.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		perTick = append(perTick, wal.EncodeUpdates(nil, rep.Batch))
+	}
+	return perTick, append([]byte(nil), e.Store().Slab()...)
+}
+
+// TestTwoGatewaysAreByteIdentical is the session-layer determinism
+// property: two gateway instances fed the same (seed, tick) client intents
+// — including identical churn replay — produce byte-identical per-tick
+// update sets and byte-identical final worlds, for every churn profile.
+func TestTwoGatewaysAreByteIdentical(t *testing.T) {
+	for _, profile := range Profiles() {
+		t.Run(string(profile), func(t *testing.T) {
+			const ticks = 16
+			a, slabA := gatewayRun(t, profile, 99, ticks)
+			b, slabB := gatewayRun(t, profile, 99, ticks)
+			for i := range a {
+				if !bytes.Equal(a[i], b[i]) {
+					t.Fatalf("tick %d update sets differ between instances", i)
+				}
+			}
+			if !bytes.Equal(slabA, slabB) {
+				t.Fatal("final slabs differ between instances")
+			}
+		})
+	}
+}
+
+// TestChurnActuallyChurns guards the profiles against degenerating into
+// steady: the storm profiles must log sessions in and out over a run (and
+// therefore drop some offline-owned intents), or the gatewaybench workloads
+// measure nothing.
+func TestChurnActuallyChurns(t *testing.T) {
+	table := testTable()
+	for _, profile := range []Profile{LoginStorm, ReconnectStorm} {
+		t.Run(string(profile), func(t *testing.T) {
+			src, err := workload.New("mixed", workload.Config{
+				Table: table, UpdatesPerTick: 200, Ticks: 32, Skew: 0.8, Seed: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			g, err := NewGateway(Options{World: EngineWorld{E: e}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			drv, err := NewDriver(DriverConfig{Gateway: g, Clients: 64, Source: src, Profile: profile, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var logins, logouts, dropped int
+			for i := 0; i < 32; i++ {
+				rep, err := drv.Tick()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i > 0 { // skip the initial connect wave
+					logins += rep.Logins
+					logouts += rep.Logouts
+				}
+				dropped += rep.DroppedIntents
+			}
+			if logins == 0 || logouts == 0 {
+				t.Fatalf("%s: %d logins, %d logouts after tick 0 — no churn", profile, logins, logouts)
+			}
+			if dropped == 0 {
+				t.Fatalf("%s: no intents dropped for offline clients — population never shrank", profile)
+			}
+		})
+	}
+}
+
+// TestOwnerOfPartitionsExactly checks the client span decomposition: every
+// object has exactly one owning client and spans tile the object space.
+func TestOwnerOfPartitionsExactly(t *testing.T) {
+	table := testTable()
+	e, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	g, err := NewGateway(Options{World: EngineWorld{E: e}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for _, clients := range []int{1, 3, 32, 61} {
+		src, _ := workload.New("hotspot", workload.Config{Table: table, UpdatesPerTick: 1, Ticks: 1, Seed: 1})
+		drv, err := NewDriver(DriverConfig{Gateway: g, Clients: clients, Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevHi := 0
+		for i := 0; i < clients; i++ {
+			r := drv.span(i)
+			if r.Lo != prevHi {
+				t.Fatalf("clients=%d: span %d starts at %d, want %d", clients, i, r.Lo, prevHi)
+			}
+			prevHi = r.Hi
+		}
+		if prevHi != table.NumObjects() {
+			t.Fatalf("clients=%d: spans end at %d, want %d", clients, prevHi, table.NumObjects())
+		}
+		for obj := 0; obj < table.NumObjects(); obj++ {
+			i := drv.ownerOf(obj)
+			if r := drv.span(i); obj < r.Lo || obj >= r.Hi {
+				t.Fatalf("clients=%d: ownerOf(%d)=%d but span %v", clients, obj, i, r)
+			}
+		}
+	}
+}
+
+// TestSteadyMatchesRawTrace pins the identity argument from the package
+// doc: under the steady profile the session-driven world is byte-identical
+// to feeding the raw scenario trace straight into a serial engine.
+func TestSteadyMatchesRawTrace(t *testing.T) {
+	table := testTable()
+	const ticks = 10
+	for _, scenario := range []string{"hotspot", "flashcrowd"} {
+		t.Run(scenario, func(t *testing.T) {
+			mk := func() workload.Source {
+				src, err := workload.New(scenario, workload.Config{
+					Table: table, UpdatesPerTick: 500, Ticks: ticks, Skew: 0.8, Seed: 11,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return src
+			}
+			e, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			g, err := NewGateway(Options{World: EngineWorld{E: e}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Close()
+			drv, err := NewDriver(DriverConfig{Gateway: g, Clients: 25, Source: mk(), Profile: Steady})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < ticks; i++ {
+				if _, err := drv.Tick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			ref, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			src := mk()
+			var cells []uint32
+			var batch []wal.Update
+			for tick := 0; tick < ticks; tick++ {
+				cells, batch = workload.TickUpdates(src, tick, cells, batch)
+				if err := ref.ApplyTick(batch); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(e.Store().Slab(), ref.Store().Slab()) {
+				t.Fatal(fmt.Sprintf("%s: session-driven slab differs from trace-driven reference", scenario))
+			}
+		})
+	}
+}

@@ -1,0 +1,397 @@
+package session
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// Profile names a session churn pattern the driver replays: which clients
+// are online at each tick. Churn is deterministic in (profile, seed, tick
+// history), so two drivers with the same config replay the same logins,
+// logouts, and therefore the same per-tick intent sets.
+type Profile string
+
+const (
+	// Steady keeps every client online from tick 0: the baseline, and the
+	// profile whose session-driven world is byte-identical to feeding the
+	// raw scenario trace straight into the engine.
+	Steady Profile = "steady"
+	// LoginStorm starts with a quarter of the clients online and logs the
+	// rest in, in bursty waves, with a trickle of logouts — the launch-day
+	// pattern the gateway's connect path has to absorb.
+	LoginStorm Profile = "loginstorm"
+	// ReconnectStorm periodically disconnects a large block of clients at
+	// once and reconnects them over the following ticks — the pattern after
+	// a network partition or a gateway restart.
+	ReconnectStorm Profile = "reconnect"
+)
+
+// Profiles returns every driver churn profile, in presentation order.
+func Profiles() []Profile { return []Profile{Steady, LoginStorm, ReconnectStorm} }
+
+// DriverConfig configures a simulated-client Driver.
+type DriverConfig struct {
+	// Gateway is the gateway under test. Required.
+	Gateway *Gateway
+	// Clients is the simulated client population. Each client owns a
+	// contiguous span of the object space (span i of Clients equal cuts) and
+	// originates exactly the scenario updates that land in its span, so the
+	// union of all online clients' intents is the scenario trace minus the
+	// offline spans. Required, at least 1.
+	Clients int
+	// Source is the workload scenario whose per-tick cells the clients
+	// replay as intents. Required.
+	Source workload.Source
+	// AOISlots widens each client's area of interest beyond its own span by
+	// this many partition slots on each side — clients see their neighbors'
+	// updates, the interest-management load multiplier. Default 1.
+	AOISlots int
+	// Profile is the churn pattern. Default Steady.
+	Profile Profile
+	// Seed salts the churn RNG (mixed with the profile name), independent of
+	// the scenario seed.
+	Seed int64
+}
+
+// TickReport is what one driver tick observed.
+type TickReport struct {
+	// Tick is the world tick this report covers.
+	Tick uint64
+	// Online is the session count after this tick's churn.
+	Online int
+	// Logins and Logouts count this tick's churn events.
+	Logins, Logouts int
+	// Intents is the size of the canonical batch this tick committed.
+	Intents int
+	// DroppedIntents counts scenario updates discarded because their owning
+	// client was offline.
+	DroppedIntents int
+	// Deltas counts deltas drained from session queues this tick.
+	Deltas int
+	// Latency is the intent→visible wall time: from staging the first intent
+	// to the tick's deltas landing in every interested session queue.
+	Latency time.Duration
+	// Batch is the tick's canonical update set, shared with the gateway —
+	// read-only. A reference world can be fed from it directly.
+	Batch []wal.Update
+}
+
+// Driver simulates a client population against a gateway: per tick it
+// replays churn, decomposes the scenario tick into per-client intents,
+// submits them, steps the world, and waits for the deltas to come back.
+// It is the in-process counterpart of cmd/gateway's TCP swarm — same
+// decomposition, no sockets — and the load generator gatewaybench runs.
+type Driver struct {
+	cfg     DriverConfig
+	gw      *Gateway
+	objects int
+	salt    uint64
+
+	online   []bool
+	sessions []*Session
+	tick     uint64
+	start    uint64 // the driver's first tick: when the initial connect wave runs
+
+	cells []uint32
+	batch []wal.Update
+	per   [][]wal.Update
+}
+
+// NewDriver builds a driver; no clients are connected until the first Tick
+// runs the profile's churn (Steady connects everyone at tick 0).
+func NewDriver(cfg DriverConfig) (*Driver, error) {
+	if cfg.Gateway == nil {
+		return nil, fmt.Errorf("session: DriverConfig.Gateway required")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("session: DriverConfig.Source required")
+	}
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("session: %d clients", cfg.Clients)
+	}
+	objects := cfg.Gateway.Table().NumObjects()
+	if cfg.Clients > objects {
+		return nil, fmt.Errorf("session: %d clients over %d objects (at most one client per object)", cfg.Clients, objects)
+	}
+	if cfg.AOISlots == 0 {
+		cfg.AOISlots = 1
+	}
+	if cfg.Profile == "" {
+		cfg.Profile = Steady
+	}
+	switch cfg.Profile {
+	case Steady, LoginStorm, ReconnectStorm:
+	default:
+		return nil, fmt.Errorf("session: unknown profile %q (have %v)", cfg.Profile, Profiles())
+	}
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Profile))
+	return &Driver{
+		cfg:      cfg,
+		gw:       cfg.Gateway,
+		objects:  objects,
+		salt:     h.Sum64(),
+		online:   make([]bool, cfg.Clients),
+		sessions: make([]*Session, cfg.Clients),
+		per:      make([][]wal.Update, cfg.Clients),
+		tick:     cfg.Gateway.world.NextTick(),
+		start:    cfg.Gateway.world.NextTick(),
+	}, nil
+}
+
+// span returns client i's owned object range: cut i of Clients equal cuts.
+func (d *Driver) span(i int) Range {
+	c := d.cfg.Clients
+	return Range{Lo: i * d.objects / c, Hi: (i + 1) * d.objects / c}
+}
+
+// ownerOf returns the client owning an object.
+func (d *Driver) ownerOf(obj int) int {
+	i := obj * d.cfg.Clients / d.objects
+	for i+1 < d.cfg.Clients && obj >= d.span(i+1).Lo {
+		i++
+	}
+	for i > 0 && obj < d.span(i).Lo {
+		i--
+	}
+	return i
+}
+
+// aoi returns client i's interest window: its span widened by AOISlots
+// partition slots each side, clamped to the world.
+func (d *Driver) aoi(i int) Range {
+	r := d.span(i)
+	r.Lo -= d.cfg.AOISlots * cluster.SlotSize
+	r.Hi += d.cfg.AOISlots * cluster.SlotSize
+	if r.Lo < 0 {
+		r.Lo = 0
+	}
+	if r.Hi > d.objects {
+		r.Hi = d.objects
+	}
+	return r
+}
+
+// rng returns tick t's churn RNG: the workload substream recipe
+// (SplitMix64 over seed, profile salt, tick) so churn, like the scenarios,
+// is a deterministic function of configuration.
+func (d *Driver) rng(t uint64) *rand.Rand {
+	x := uint64(d.cfg.Seed)*0x9E3779B97F4A7C15 + d.salt + t + 1
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x >> 1)))
+}
+
+// login connects client i (idempotent).
+func (d *Driver) login(i int) (ok bool, err error) {
+	if d.online[i] {
+		return false, nil
+	}
+	s, err := d.gw.Connect(uint64(i), d.aoi(i))
+	if err != nil {
+		return false, err
+	}
+	d.online[i] = true
+	d.sessions[i] = s
+	return true, nil
+}
+
+// logout disconnects client i (idempotent).
+func (d *Driver) logout(i int) bool {
+	if !d.online[i] {
+		return false
+	}
+	d.sessions[i].Close()
+	d.online[i] = false
+	d.sessions[i] = nil
+	return true
+}
+
+// churn replays tick t's profile events. The churn sequence is incremental —
+// each tick's events depend on the online set the previous ticks built — so
+// it is a pure function of (profile, seed) only when replayed from the
+// driver's first tick, which is how every driver runs.
+func (d *Driver) churn(t uint64) (logins, logouts int, err error) {
+	c := d.cfg.Clients
+	first := t == d.start
+	switch d.cfg.Profile {
+	case Steady:
+		if first {
+			for i := 0; i < c; i++ {
+				ok, err := d.login(i)
+				if err != nil {
+					return logins, logouts, err
+				}
+				if ok {
+					logins++
+				}
+			}
+		}
+	case LoginStorm:
+		rng := d.rng(t)
+		if first {
+			for i := 0; i < c/4; i++ {
+				if ok, err := d.login(i); err != nil {
+					return logins, logouts, err
+				} else if ok {
+					logins++
+				}
+			}
+			break
+		}
+		// A wave every ~4 ticks logs in up to an eighth of the population,
+		// scanning from a random start; every tick a small random set logs out.
+		if rng.Intn(4) == 0 {
+			want := 1 + rng.Intn(c/8+1)
+			start := rng.Intn(c)
+			for k := 0; k < c && want > 0; k++ {
+				i := (start + k) % c
+				if !d.online[i] {
+					if _, err := d.login(i); err != nil {
+						return logins, logouts, err
+					}
+					logins++
+					want--
+				}
+			}
+		}
+		for k := 0; k < c/64+1; k++ {
+			if d.logout(rng.Intn(c)) {
+				logouts++
+			}
+		}
+	case ReconnectStorm:
+		rng := d.rng(t)
+		if first {
+			for i := 0; i < c; i++ {
+				if ok, err := d.login(i); err != nil {
+					return logins, logouts, err
+				} else if ok {
+					logins++
+				}
+			}
+			break
+		}
+		// Every ~8 ticks a contiguous block of ~60% of the population drops
+		// at once; otherwise up to a quarter of the disconnected reconnect.
+		if rng.Intn(8) == 0 {
+			start := rng.Intn(c)
+			for k := 0; k < c*3/5; k++ {
+				if d.logout((start + k) % c) {
+					logouts++
+				}
+			}
+		} else {
+			want := c/4 + 1
+			for i := 0; i < c && want > 0; i++ {
+				if !d.online[i] {
+					if _, err := d.login(i); err != nil {
+						return logins, logouts, err
+					}
+					logins++
+					want--
+				}
+			}
+		}
+	}
+	return logins, logouts, nil
+}
+
+// Tick runs one driver tick: churn, decompose the scenario tick into
+// per-client intents (per-cell order preserved: one cell → one object → one
+// owning client, and each client submits its intents in scenario order),
+// submit, step the world, and await delta delivery. The scenario tick index
+// equals the world tick, so a driver over a recovered world resumes the
+// trace where the crash cut it.
+func (d *Driver) Tick() (TickReport, error) {
+	t := d.tick
+	rep := TickReport{Tick: t}
+	var err error
+	rep.Logins, rep.Logouts, err = d.churn(t)
+	if err != nil {
+		return rep, err
+	}
+	for _, on := range d.online {
+		if on {
+			rep.Online++
+		}
+	}
+
+	start := time.Now()
+	d.cells, d.batch = workload.TickUpdates(d.cfg.Source, int(t), d.cells, d.batch)
+	for i := range d.per {
+		d.per[i] = d.per[i][:0]
+	}
+	cellsPerObj := uint32(d.gw.Table().CellsPerObject())
+	for _, u := range d.batch {
+		i := d.ownerOf(int(u.Cell / cellsPerObj))
+		if !d.online[i] {
+			rep.DroppedIntents++
+			continue
+		}
+		d.per[i] = append(d.per[i], u)
+	}
+	for i, intents := range d.per {
+		if len(intents) == 0 {
+			continue
+		}
+		if err := d.sessions[i].Submit(intents); err != nil {
+			return rep, err
+		}
+	}
+
+	batch, err := d.gw.Step()
+	if err != nil {
+		return rep, err
+	}
+	if err := d.gw.AwaitDelivered(t, 10*time.Second); err != nil {
+		return rep, err
+	}
+	rep.Latency = time.Since(start)
+	rep.Intents = len(batch)
+	rep.Batch = batch
+
+	for i, s := range d.sessions {
+		if !d.online[i] {
+			continue
+		}
+		for {
+			select {
+			case <-s.Deltas():
+				rep.Deltas++
+				continue
+			default:
+			}
+			break
+		}
+	}
+	d.tick++
+	return rep, nil
+}
+
+// Online returns how many clients are currently connected.
+func (d *Driver) Online() int {
+	n := 0
+	for _, on := range d.online {
+		if on {
+			n++
+		}
+	}
+	return n
+}
+
+// Close disconnects every client.
+func (d *Driver) Close() {
+	for i := range d.online {
+		d.logout(i)
+	}
+}

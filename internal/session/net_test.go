@@ -1,0 +1,132 @@
+package session
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// tcpPair returns a loopback server/client conn pair.
+func tcpPair(t *testing.T) (server, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if err != nil || cerr != nil {
+		t.Fatalf("accept: %v dial: %v", err, cerr)
+	}
+	t.Cleanup(func() { server.Close(); client.Close() })
+	return server, client
+}
+
+func TestTCPSessionRoundTrip(t *testing.T) {
+	w, _ := memWorld(t)
+	g := newTestGateway(t, Options{World: w})
+	sconn, cconn := tcpPair(t)
+
+	served := make(chan error, 1)
+	go func() { served <- g.ServeConn(sconn) }()
+
+	c, err := NewClient(cconn, g.Table(), 5, Range{Lo: 0, Hi: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NextTick != 0 {
+		t.Fatalf("welcome next tick = %d, want 0", c.NextTick)
+	}
+	// Wait for the server goroutine to register the session before ticking.
+	for i := 0; g.Sessions() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	in := []wal.Update{{Cell: 1, Value: 10}, {Cell: 2, Value: 20}}
+	if err := c.Submit(in); err != nil {
+		t.Fatal(err)
+	}
+	// Submit is async to Step: poll until the intents are staged.
+	deadline := time.Now().Add(5 * time.Second)
+	var batch []wal.Update
+	for {
+		if batch, err = g.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("intents never arrived at the gateway")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(batch) != 2 || batch[0] != in[0] || batch[1] != in[1] {
+		t.Fatalf("batch = %v, want %v", batch, in)
+	}
+
+	tick, updates, err := c.ReadDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != 2 || updates[0] != in[0] || updates[1] != in[1] {
+		t.Fatalf("delta tick %d = %v, want %v", tick, updates, in)
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("ServeConn: %v", err)
+	}
+	if g.Sessions() != 0 {
+		t.Fatalf("session still registered after bye")
+	}
+}
+
+func TestTCPGeometryMismatchRejected(t *testing.T) {
+	w, _ := memWorld(t)
+	g := newTestGateway(t, Options{World: w})
+	sconn, cconn := tcpPair(t)
+
+	served := make(chan error, 1)
+	go func() { served <- g.ServeConn(sconn) }()
+
+	bad := g.Table()
+	bad.Rows /= 2
+	if _, err := NewClient(cconn, bad, 1, Range{Lo: 0, Hi: 64}); err == nil {
+		t.Fatal("client accepted despite geometry mismatch")
+	}
+	if err := <-served; err == nil {
+		t.Fatal("ServeConn accepted a mismatched geometry")
+	}
+	if g.Sessions() != 0 {
+		t.Fatal("mismatched client left a session behind")
+	}
+}
+
+func TestTCPBadMagicRejected(t *testing.T) {
+	w, _ := memWorld(t)
+	g := newTestGateway(t, Options{World: w})
+	sconn, cconn := tcpPair(t)
+
+	served := make(chan error, 1)
+	go func() { served <- g.ServeConn(sconn) }()
+
+	body := helloBody(1, Range{Lo: 0, Hi: 64}, g.Table())
+	copy(body[1:], "NOTMAGIC")
+	if err := writeFrame(cconn, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err == nil {
+		t.Fatal("ServeConn accepted a bad magic")
+	}
+}
