@@ -26,9 +26,23 @@
 // the world is aligned, then continues the scenario. Verification hashes
 // each node's owned ranges against the reference; a mismatch exits
 // non-zero.
+//
+// A third role runs the whole lifecycle in one process to demonstrate the
+// recovery-mode ladder (peer-RAM replicas and warm standbys need live peers,
+// which the TCP roles' independent process restarts cannot model):
+//
+//	cluster -role world -world-nodes 4 -recovery-mode auto \
+//	    -scenario hotspot -ticks 200 -updates 6400 -checkpoint-every 64
+//
+// runs the scenario on an in-process cluster, crashes it at the final tick
+// barrier, recovers every partition down the -recovery-mode ladder
+// (auto: peer-RAM → standby → disk), prints which mode actually served each
+// partition and why any rung fell through, and verifies the recovered world
+// byte-for-byte against the single-node reference.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"hash/crc32"
@@ -41,6 +55,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/gamestate"
+	"repro/internal/peerram"
 	"repro/internal/replication"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -48,7 +63,7 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "", "node | coord")
+		role     = flag.String("role", "", "node | coord | world")
 		listen   = flag.String("listen", ":7801", "node: address to accept the coordinator on")
 		dir      = flag.String("dir", "", "node: engine directory (recovered if it holds prior state)")
 		nodes    = flag.String("nodes", "", "coord: comma-separated node addresses, partition order")
@@ -62,6 +77,8 @@ func main() {
 		ckptEach = flag.Int("checkpoint-every", 64, "coord: coordinated world checkpoint interval in ticks (0 = only at the end)")
 		shards   = flag.Int("shards", 1, "node: engine shards")
 		mode     = flag.String("mode", "cou", "node: checkpoint method (cou | naive)")
+		wnodes   = flag.Int("world-nodes", 2, "world: in-process node count")
+		recMode  = flag.String("recovery-mode", "auto", "world: recovery ladder (auto | peerram | standby | disk)")
 		netTO    = flag.Duration("net-timeout", 30*time.Second,
 			"bound on dial/accept and on any single command-stream read; a dead peer "+
 				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
@@ -73,11 +90,166 @@ func main() {
 		runNode(table, *listen, *dir, *shards, *mode, *netTO)
 	case "coord":
 		runCoord(table, *nodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *netTO)
+	case "world":
+		rm, err := cluster.ParseRecoveryMode(*recMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runWorld(table, *dir, *wnodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *shards, rm)
 	default:
-		fmt.Fprintln(os.Stderr, "cluster: -role must be node or coord")
+		fmt.Fprintln(os.Stderr, "cluster: -role must be node, coord or world")
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runWorld runs the scenario on an in-process cluster, crashes it at the
+// final barrier, and recovers it down the requested recovery-mode ladder,
+// reporting which rung actually served each partition.
+func runWorld(table gamestate.Table, dir string, nodes int, scenario string, ticks, updates int,
+	skew float64, seed int64, ckptEach, shards int, rmode cluster.RecoveryMode) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cluster-world")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	src, err := workload.New(scenario, workload.Config{
+		Table: table, UpdatesPerTick: updates, Ticks: ticks, Skew: skew, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := cluster.Options{
+		Table: table, Dir: dir, Mode: engine.ModeCopyOnUpdate, Nodes: nodes, Shards: shards,
+	}
+	var mesh *peerram.Mesh
+	if rmode == cluster.RecoveryAuto || rmode == cluster.RecoveryPeerRAM {
+		mesh = peerram.NewMesh(cluster.Uniform(table.NumObjects(), nodes).NumNodes, peerram.Options{})
+		opts.PeerRAM = mesh
+	}
+	c, err := cluster.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff := len(c.Nodes())
+	log.Printf("world: %d nodes over %d objects, recovery mode %s", eff, table.NumObjects(), rmode)
+
+	// The standby rung mirrors every node over the warm-standby stream.
+	var standbys []*replication.Standby
+	var shippers []*replication.Shipper
+	if rmode == cluster.RecoveryAuto || rmode == cluster.RecoveryStandby {
+		for i, n := range c.Nodes() {
+			pc, sc := net.Pipe()
+			sb, err := replication.StartStandby(engine.Options{
+				Table: table, Dir: fmt.Sprintf("%s/standby-%d", dir, i),
+				Mode: engine.ModeCopyOnUpdate, Shards: shards,
+			}, sc)
+			if err != nil {
+				log.Fatalf("world: standby %d: %v", i, err)
+			}
+			sh, err := replication.StartShipper(n.E, pc, replication.ShipperOptions{MaxLagTicks: 64})
+			if err != nil {
+				log.Fatalf("world: shipper %d: %v", i, err)
+			}
+			select {
+			case <-sb.Ready():
+			case <-sb.Done():
+				log.Fatalf("world: standby %d died during bootstrap: %v", i, sb.Err())
+			}
+			standbys, shippers = append(standbys, sb), append(shippers, sh)
+		}
+	}
+
+	var cells []uint32
+	var batch []wal.Update
+	t0 := time.Now()
+	for t := 0; t < ticks; t++ {
+		cells, batch = workload.TickUpdates(src, t, cells, batch)
+		if err := c.Tick(batch); err != nil {
+			log.Fatalf("world: tick %d: %v", t, err)
+		}
+		if ckptEach > 0 && (t+1)%ckptEach == 0 && t != ticks-1 {
+			if _, err := c.CheckpointWorld(); err != nil {
+				log.Fatalf("world: checkpoint after tick %d: %v", t, err)
+			}
+		}
+	}
+	log.Printf("world: %d ticks in %v", ticks, time.Since(t0).Round(time.Millisecond))
+	for i, sh := range shippers {
+		if err := sh.AwaitAck(uint64(ticks)-1, 30*time.Second); err != nil {
+			log.Fatalf("world: standby %d behind at the crash: %v", i, err)
+		}
+		sh.Stop() //nolint:errcheck // stream teardown
+	}
+	if err := c.Close(); err != nil { // crash at the final tick barrier
+		log.Fatal(err)
+	}
+	if mesh != nil {
+		var sum int64
+		for _, b := range mesh.MemStats() {
+			sum += b
+		}
+		log.Printf("world: crash; surviving peers hold %.1f KB of compressed replicas (%.1f KB/node)",
+			float64(sum)/1024, float64(sum)/1024/float64(eff))
+	} else {
+		log.Printf("world: crash")
+	}
+
+	rc, wr, err := cluster.Recover(dir, cluster.Options{
+		Mode: engine.ModeCopyOnUpdate, Shards: shards,
+		RecoveryMode: rmode, PeerRAM: mesh, Standbys: standbys,
+	})
+	if err != nil {
+		log.Fatalf("world: recovery: %v", err)
+	}
+	defer rc.Close()
+	for _, sb := range standbys {
+		defer sb.Close()
+	}
+	for i, m := range wr.Modes {
+		line := fmt.Sprintf("world: partition %d recovered via %s", i, m)
+		if wr.Fallbacks[i] != "" {
+			line += fmt.Sprintf(" (fell through: %s)", wr.Fallbacks[i])
+		}
+		log.Print(line)
+	}
+	log.Printf("world: recovered to tick %d in %v (slowest partition)", wr.WorldTick, wr.Wall.Round(time.Millisecond))
+
+	// Verify per cell against the single-node serial reference.
+	ref, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < ticks; t++ {
+		cells, batch = workload.TickUpdates(src, t, cells, batch)
+		if err := ref.ApplyTick(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	got := make([]byte, table.StateBytes())
+	if err := rc.ReadWorld(got); err != nil {
+		log.Fatal(err)
+	}
+	if wr.WorldTick != uint64(ticks) || !bytes.Equal(got, ref.Store().Slab()) {
+		log.Fatalf("world: recovered state DIVERGED from the single-node reference (tick %d, want %d)",
+			wr.WorldTick, ticks)
+	}
+	ref.Close()
+	fmt.Printf("world verified: %d nodes recovered via [%s] at tick %d — byte-identical to the single-node reference\n",
+		eff, joinModes(wr.Modes), ticks)
+}
+
+// joinModes renders the per-partition served modes compactly.
+func joinModes(modes []cluster.RecoveryMode) string {
+	parts := make([]string, len(modes))
+	for i, m := range modes {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, ",")
 }
 
 func runNode(table gamestate.Table, listen, dir string, shards int, mode string, netTO time.Duration) {

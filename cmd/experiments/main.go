@@ -34,16 +34,20 @@
 //	experiments -exp scenariobench -scale quick -write-baseline
 //
 // clusterbench runs the real multi-node cluster (internal/cluster) through
-// scenario × cluster size: synchronized tick overhead, coordinated world
-// checkpoints, whole-world parallel recovery, and live partition migration
-// with a zero-blackout check and per-cell byte identity against a
-// single-node reference. -cluster-scenarios and -cluster-sizes trim the
-// sweep. It is the measured successor of the analytical multiserver model.
+// scenario × cluster size × recovery mode (disk pipeline, standby
+// promotion, peer-RAM restore): synchronized tick overhead, coordinated
+// world checkpoints, whole-world recovery down each ladder rung with the
+// served mode and compressed replica RAM reported, and live partition
+// migration with a zero-blackout check and per-cell byte identity against
+// a single-node reference. -cluster-scenarios, -cluster-sizes and
+// -cluster-recovery-modes trim the sweep. It is the measured successor of
+// the analytical multiserver model.
 //
 // chaosbench runs seeded fault-injection schedules (internal/chaos) over
 // scenario × fault site × seed: a backup device that dies mid-flush, a
 // replication link severed mid-frame session after session, a migration
-// range stream cut mid-transfer. Every cell must end byte-identical to a
+// range stream cut mid-transfer, a peer-RAM holder killed mid-restore.
+// Every cell must end byte-identical to a
 // never-faulted reference — "survived" when no fault fired, "degraded" when
 // faults fired and the degradation path held; any "failed" cell exits
 // non-zero, printing the (seed, site) pair that replays it.
@@ -69,6 +73,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/session"
@@ -137,8 +142,9 @@ func main() {
 		foCheck   = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
 		clustScen = flag.String("cluster-scenarios", "", "comma-separated clusterbench scenario filter (empty = hotspot,migration,flashcrowd)")
 		clustSize = flag.String("cluster-sizes", "", "comma-separated clusterbench node counts (empty = 1,2,4)")
+		clustRec  = flag.String("cluster-recovery-modes", "", "comma-separated clusterbench recovery-mode axis (empty = disk,standby,peerram)")
 		chaosScen = flag.String("chaos-scenarios", "", "comma-separated chaosbench scenario filter (empty = flashcrowd,hotspot,migration)")
-		chaosSite = flag.String("chaos-sites", "", "comma-separated chaosbench fault sites (empty = disk,replink,cluster)")
+		chaosSite = flag.String("chaos-sites", "", "comma-separated chaosbench fault sites (empty = disk,replink,cluster,peerram)")
 		chaosSeed = flag.String("chaos-seeds", "", "comma-separated chaosbench schedule seeds (empty = 1,2,3)")
 		gwProf    = flag.String("gateway-profiles", "", "comma-separated gatewaybench churn profiles (empty = "+joinProfiles()+")")
 		gwSize    = flag.String("gateway-sizes", "", "comma-separated gatewaybench node counts (empty = 1,2,4)")
@@ -187,7 +193,7 @@ func main() {
 		diskBench: *diskBench,
 		shards:    *shards, recLog: *recLog, recDisk: *recDisk,
 		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck,
-		clustScen: *clustScen, clustSize: *clustSize,
+		clustScen: *clustScen, clustSize: *clustSize, clustRec: *clustRec,
 		chaosScen: *chaosScen, chaosSite: *chaosSite, chaosSeed: *chaosSeed,
 		gwProf: *gwProf, gwSize: *gwSize, gwClients: *gwClients,
 		benchScen: *benchScen, benchDisk: *benchDisk, benchOut: *benchOut, benchBase: *benchBase,
@@ -250,6 +256,7 @@ type runner struct {
 	foCheck   bool
 	clustScen string
 	clustSize string
+	clustRec  string
 	chaosScen string
 	chaosSite string
 	chaosSeed string
@@ -455,9 +462,18 @@ func (r *runner) clusterbench() {
 			}
 			sizes = append(sizes, n)
 		}
+		var modes []cluster.RecoveryMode
+		for _, v := range splitList(r.clustRec) {
+			m, err := cluster.ParseRecoveryMode(v)
+			if err != nil {
+				fatalf("clusterbench: bad -cluster-recovery-modes entry %q", v)
+			}
+			modes = append(modes, m)
+		}
 		cb, err := experiments.RunClusterBench(r.scale, r.seed, experiments.ClusterBenchOptions{
-			Scenarios: splitList(r.clustScen),
-			Sizes:     sizes,
+			Scenarios:     splitList(r.clustScen),
+			Sizes:         sizes,
+			RecoveryModes: modes,
 		})
 		if err != nil {
 			fatalf("clusterbench: %v", err)

@@ -7,7 +7,8 @@
 // or the individual spec is documented. CI runs it over the packages whose
 // godoc we guarantee:
 //
-//	go run ./cmd/exportdoc ./internal/session ./internal/cluster ./internal/replication
+//	go run ./cmd/exportdoc ./internal/session ./internal/cluster ./internal/replication \
+//	    ./internal/peerram ./internal/recovery
 //
 // Exit status is the number of undocumented exported identifiers capped at
 // 1 — zero means every exported symbol is documented.

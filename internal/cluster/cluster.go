@@ -13,6 +13,8 @@ import (
 	"repro/internal/disk"
 	"repro/internal/engine"
 	"repro/internal/gamestate"
+	"repro/internal/peerram"
+	"repro/internal/replication"
 	"repro/internal/wal"
 )
 
@@ -56,6 +58,24 @@ type Options struct {
 	// DeviceFactory overrides how each node engine opens its backup devices
 	// (fault injection). The path identifies both the node and the backup.
 	DeviceFactory func(path string) (disk.Device, error)
+	// PeerRAM, when non-nil, attaches every node to the replica mesh: each
+	// node's checkpoint image and tick deltas are held compressed in K
+	// peers' RAM (piggybacked on the tick-commit stream, no extra fsyncs),
+	// and Recover's ladder can restore a crashed partition out of that RAM
+	// instead of through the disk pipeline. The mesh deliberately outlives
+	// the cluster — surviving peers' RAM is exactly what a later Recover
+	// with the same mesh restores from.
+	PeerRAM *peerram.Mesh
+	// RecoveryMode selects Recover's per-partition ladder (see
+	// RecoveryMode; the zero value is RecoveryAuto: peer-RAM → standby →
+	// disk). New ignores it.
+	RecoveryMode RecoveryMode
+	// Standbys supplies Recover's standby rung: Standbys[i], when non-nil,
+	// is a warm standby mirroring node i that Recover may promote in place
+	// of restoring from disk. The promoted engine keeps its own directory;
+	// the node's root-relative directory goes stale, exactly as a real
+	// failover's would. New ignores it.
+	Standbys []*replication.Standby
 }
 
 // TimeoutError reports a barrier wait that exceeded Options.BarrierTimeout:
@@ -211,7 +231,25 @@ func New(opts Options) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
+	if err := c.attachPeerRAM(); err != nil {
+		c.Close()
+		return nil, err
+	}
 	return c, nil
+}
+
+// attachPeerRAM starts every node's replica links on the configured mesh;
+// a no-op without one.
+func (c *Cluster) attachPeerRAM() error {
+	if c.opts.PeerRAM == nil {
+		return nil
+	}
+	for _, n := range c.nodes {
+		if err := c.opts.PeerRAM.Attach(n.Index, n.E); err != nil {
+			return fmt.Errorf("cluster: node %d replica mesh: %w", n.Index, err)
+		}
+	}
+	return nil
 }
 
 // nodeEngineOptions is the per-node engine configuration.
@@ -476,6 +514,17 @@ func (c *Cluster) CheckpointWorld() (*Manifest, error) {
 	if err := c.writeManifest(wc); err != nil {
 		return nil, err
 	}
+	if c.opts.PeerRAM != nil {
+		// Refresh every node's peer-held replica to the new cut: holders
+		// install the fresh image and drop the delta tail it supersedes, so
+		// replica RAM tracks one image plus dirty-since-cut ticks — the same
+		// retention shape as the disk checkpoints the manifest just recorded.
+		for _, n := range c.nodes {
+			if err := c.opts.PeerRAM.Refresh(n.Index); err != nil {
+				return nil, fmt.Errorf("cluster: node %d replica refresh: %w", n.Index, err)
+			}
+		}
+	}
 	return c.manifest(wc), nil
 }
 
@@ -517,6 +566,18 @@ func (c *Cluster) Close() error {
 	if c.mig != nil {
 		c.mig.abort()
 		c.mig = nil
+	}
+	if c.opts.PeerRAM != nil {
+		// Flush each node's replica tail into its holders' RAM, then stop the
+		// links. Detach (not Crash): the stores stay servable, so a Close that
+		// models a crash leaves surviving peers' RAM exactly as a real crash
+		// would. The drain is best-effort — a wedged cluster must still close.
+		for _, n := range c.nodes {
+			if c.tick > 0 {
+				c.opts.PeerRAM.Drain(n.Index, c.tick-1, 2*time.Second) //nolint:errcheck // best-effort
+			}
+			c.opts.PeerRAM.Detach(n.Index)
+		}
 	}
 	for _, ch := range c.work {
 		if ch != nil { // build() may Close before the workers exist

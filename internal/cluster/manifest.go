@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/gamestate"
 	"repro/internal/recovery"
+	"repro/internal/replication"
 )
 
 // manifestName is the cluster metadata file under the cluster root.
@@ -97,22 +99,74 @@ func ReadManifest(root string) (*Manifest, error) {
 // node's recovery, exactly the quantity the paper's Section 8 says gates a
 // multi-server world, here measured instead of modeled.
 type WorldRecovery struct {
-	// PerNode holds each node's parallel-pipeline breakdown.
+	// PerNode holds each node's parallel-pipeline breakdown. Standby
+	// promotions did not run a pipeline; their entry carries only NextTick.
 	PerNode []recovery.ParallelResult
+	// Modes records which ladder rung actually served each node's recovery
+	// (RecoveryPeerRAM, RecoveryStandby or RecoveryDisk — never
+	// RecoveryAuto).
+	Modes []RecoveryMode
+	// Fallbacks records, per node, why the rungs above the serving one fell
+	// through ("" when the first rung served).
+	Fallbacks []string
 	// Wall is start → last node recovered (nodes recover concurrently).
 	Wall time.Duration
 	// WorldTick is the common tick every node recovered to.
 	WorldTick uint64
 }
 
-// Recover performs whole-world recovery of a crashed cluster under root:
-// every node restores its newest complete image and replays its own WAL
-// through the sharded parallel pipeline (recovery.RecoverParallel via
-// engine.RecoverFrom), all nodes concurrently. The recovered world is
-// consistent only if every node reached the same tick; a cluster that
-// crashed at a tick barrier (or whose nodes sync every tick) satisfies
-// that, and a skew — some node's WAL lost its tail — is reported as an
-// error naming the laggard rather than resuming a torn world.
+// recoverNode walks one partition down the recovery-mode ladder. Every rung
+// failure is recorded and falls through; the disk pipeline is the final
+// rung, so the returned mode is always the one that actually served.
+func recoverNode(root string, opts Options, i int) (*engine.Engine, recovery.ParallelResult, RecoveryMode, string, error) {
+	var notes []string
+	note := func(format string, args ...any) { notes = append(notes, fmt.Sprintf(format, args...)) }
+	eopts := nodeEngineOptions(opts, NodeDir(root, i))
+	mode := opts.RecoveryMode
+
+	if mode == RecoveryAuto || mode == RecoveryPeerRAM {
+		if opts.PeerRAM == nil {
+			note("peerram: no mesh")
+		} else if src, holder, err := opts.PeerRAM.Source(i); err != nil {
+			note("%v", err)
+		} else if e, pres, err := engine.RecoverFromPeer(eopts, src); err != nil {
+			note("peerram via node %d: %v", holder, err)
+		} else {
+			return e, pres, RecoveryPeerRAM, strings.Join(notes, "; "), nil
+		}
+	}
+	if mode == RecoveryAuto || mode == RecoveryStandby {
+		var sb *replication.Standby
+		if i < len(opts.Standbys) {
+			sb = opts.Standbys[i]
+		}
+		if sb == nil {
+			note("%v %d", ErrNoStandby, i)
+		} else if e, err := sb.Promote(); err != nil {
+			note("standby node %d: %v", i, err)
+		} else {
+			// No pipeline ran; the promoted engine's tick is the whole story.
+			var pres recovery.ParallelResult
+			pres.BackupIndex = -1
+			pres.NextTick = e.NextTick()
+			return e, pres, RecoveryStandby, strings.Join(notes, "; "), nil
+		}
+	}
+	e, pres, err := engine.RecoverFrom(eopts)
+	return e, pres, RecoveryDisk, strings.Join(notes, "; "), err
+}
+
+// Recover performs whole-world recovery of a crashed cluster under root.
+// Each partition walks the Options.RecoveryMode ladder independently —
+// peer-RAM restore out of a surviving node's replica (engine.RecoverFromPeer),
+// warm-standby promotion, and finally the paper's disk restore+replay
+// pipeline (recovery.RecoverParallel via engine.RecoverFrom) — all nodes
+// concurrently; a rung that fails for one partition falls through for that
+// partition only, and WorldRecovery records which rung served whom. The
+// recovered world is consistent only if every node reached the same tick; a
+// cluster that crashed at a tick barrier (or whose nodes sync every tick)
+// satisfies that, and a skew — some node's WAL lost its tail — is reported
+// as an error naming the laggard rather than resuming a torn world.
 func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
 	man, err := ReadManifest(root)
 	if err != nil {
@@ -128,11 +182,14 @@ func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
 	}
 	opts.Nodes = man.Map.NumNodes
 
-	// Restore all partitions concurrently: each node runs its own sharded
-	// restore ∥ replay pipeline, and the world is back when the slowest
-	// node is.
+	// Recover all partitions concurrently: each node walks its own ladder,
+	// and the world is back when the slowest node is.
 	n := man.Map.NumNodes
-	wr := &WorldRecovery{PerNode: make([]recovery.ParallelResult, n)}
+	wr := &WorldRecovery{
+		PerNode:   make([]recovery.ParallelResult, n),
+		Modes:     make([]RecoveryMode, n),
+		Fallbacks: make([]string, n),
+	}
 	engines := make([]*engine.Engine, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -141,7 +198,7 @@ func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			engines[i], wr.PerNode[i], errs[i] = engine.RecoverFrom(nodeEngineOptions(opts, NodeDir(root, i)))
+			engines[i], wr.PerNode[i], wr.Modes[i], wr.Fallbacks[i], errs[i] = recoverNode(root, opts, i)
 		}(i)
 	}
 	wg.Wait()
@@ -177,6 +234,13 @@ func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
 	})
 	if err != nil {
 		closeAll()
+		return nil, nil, err
+	}
+	// Re-attach the recovered world to the mesh: attach ships a fresh image
+	// per link, so the replicas of the recovered epoch start clean. Standby-
+	// promoted nodes attach like any other — their engine is the primary now.
+	if err := c.attachPeerRAM(); err != nil {
+		c.Close()
 		return nil, nil, err
 	}
 	return c, wr, nil

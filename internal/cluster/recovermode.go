@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RecoveryMode selects the ladder Recover walks for each crashed
+// partition. Every rung that fails falls through to the next one for that
+// partition only; the disk pipeline is always the last rung, because a
+// partition's own directory is the one source that needs no surviving
+// peer. The typed rung failures — peerram.ErrNoReplica and
+// peerram.ErrReplicaGone for the peer-RAM rung, ErrNoStandby for the
+// standby rung — are recorded per node in WorldRecovery.Fallbacks.
+type RecoveryMode int
+
+// The ladder orderings. RecoveryAuto prefers the fastest source that
+// exists; the single-rung modes pin the bench axes (and operators who know
+// what they want), each still backstopped by disk.
+const (
+	// RecoveryAuto tries peer-RAM, then a warm standby, then disk.
+	RecoveryAuto RecoveryMode = iota
+	// RecoveryPeerRAM tries peer-RAM, then disk.
+	RecoveryPeerRAM
+	// RecoveryStandby tries warm-standby promotion, then disk.
+	RecoveryStandby
+	// RecoveryDisk runs the paper's restore+replay pipeline only.
+	RecoveryDisk
+)
+
+// ErrNoStandby reports that the standby rung had no warm standby to
+// promote for a partition.
+var ErrNoStandby = errors.New("cluster: no standby for partition")
+
+// String names the mode the way the -recovery-mode flag spells it.
+func (m RecoveryMode) String() string {
+	switch m {
+	case RecoveryAuto:
+		return "auto"
+	case RecoveryPeerRAM:
+		return "peerram"
+	case RecoveryStandby:
+		return "standby"
+	case RecoveryDisk:
+		return "disk"
+	}
+	return fmt.Sprintf("RecoveryMode(%d)", int(m))
+}
+
+// ParseRecoveryMode parses the -recovery-mode flag values.
+func ParseRecoveryMode(s string) (RecoveryMode, error) {
+	switch s {
+	case "auto":
+		return RecoveryAuto, nil
+	case "peerram":
+		return RecoveryPeerRAM, nil
+	case "standby":
+		return RecoveryStandby, nil
+	case "disk":
+		return RecoveryDisk, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown recovery mode %q (want auto, peerram, standby or disk)", s)
+}

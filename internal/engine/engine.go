@@ -103,6 +103,12 @@ type Engine struct {
 	havePrev  bool
 	recovered recovery.Result
 	closed    bool
+
+	// cpEpoch mirrors the epoch of the newest completed checkpoint image
+	// (the recovery start epoch until one completes). Peer-RAM replica
+	// senders read it without taking the tick mutex to stamp the images
+	// they ship.
+	cpEpoch atomic.Uint64
 }
 
 // Open creates or reopens an engine in opts.Dir. If the directory holds a
@@ -112,7 +118,7 @@ type Engine struct {
 // ΔTrecovery = ΔTrestore + ΔTreplay sum; RecoverFrom is the sharded
 // pipelined alternative.
 func Open(opts Options) (*Engine, error) {
-	e, _, err := open(opts, false)
+	e, _, err := open(opts, false, nil)
 	return e, err
 }
 
@@ -131,10 +137,10 @@ func Open(opts Options) (*Engine, error) {
 // gated on TickWriter.Owns); an action whose writes depend on reads from
 // other shards needs the serial path.
 func RecoverFrom(opts Options) (*Engine, recovery.ParallelResult, error) {
-	return open(opts, true)
+	return open(opts, true, nil)
 }
 
-func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error) {
+func open(opts Options, parallel bool, peer *RecoverSource) (*Engine, recovery.ParallelResult, error) {
 	if err := opts.Table.Validate(); err != nil {
 		return nil, recovery.ParallelResult{}, err
 	}
@@ -223,7 +229,7 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 				lo, hi := e.plan.objRange(s)
 				ranges[s] = recovery.ShardRange{Lo: lo, Hi: hi}
 			}
-			pres, err = recovery.RecoverParallel(recovery.ParallelOptions{
+			popts := recovery.ParallelOptions{
 				A: backups[0], B: backups[1], Slab: store.Slab(), Log: log,
 				Ranges: ranges,
 				Apply: func(shard int, tick uint64, body []byte) (int64, error) {
@@ -232,7 +238,16 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 					}
 					return e.replayRecordShard(shard, tick, body, &scratch[shard])
 				},
-			})
+			}
+			if peer != nil {
+				popts.Image = peer.Image
+				popts.Prelude, err = peer.Prelude()
+				if err != nil {
+					log.Close()
+					return nil, pres, err
+				}
+			}
+			pres, err = recovery.RecoverParallel(popts)
 			res = pres.Result
 		} else {
 			var updBuf []wal.Update
@@ -267,11 +282,24 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 		e.recovered = res
 		e.tick = res.NextTick
 		startEpoch = res.Epoch
-		if res.Restored {
+		if res.Restored && res.BackupIndex >= 0 {
 			// Write the next image over the stale backup.
 			firstBackup = 1 - res.BackupIndex
 			e.prevAsOf = res.AsOfTick
 			e.havePrev = true
+		}
+		if peer != nil {
+			// The slab was restored from a peer's RAM: neither disk image was
+			// read, and both may carry headers from the pre-crash incarnation.
+			// Start the epoch at or above whatever the disk holds so the
+			// images this incarnation writes always win ChooseBackup over the
+			// stale leftovers, and target the older family first.
+			if idx, h, cerr := recovery.ChooseBackup(backups[0], backups[1]); cerr == nil && idx >= 0 {
+				if h.Epoch > startEpoch {
+					startEpoch = h.Epoch
+				}
+				firstBackup = 1 - idx
+			}
 		}
 	}
 
@@ -293,11 +321,18 @@ func open(opts Options, parallel bool) (*Engine, recovery.ParallelResult, error)
 		c.fullSet = true
 		e.cp = c
 	}
+	e.cpEpoch.Store(startEpoch)
 	if e.plan.count() > 1 {
 		e.pool = newApplyPool(e.plan.count(), e.applyShard)
 	}
 	return e, pres, nil
 }
+
+// CheckpointEpoch returns the epoch of the engine's newest completed
+// checkpoint image — the recovery start epoch until the first checkpoint
+// completes. Safe to call from any goroutine; the peer-RAM replica sender
+// stamps shipped images with it.
+func (e *Engine) CheckpointEpoch() uint64 { return e.cpEpoch.Load() }
 
 // Shards returns the effective shard count of the engine's partition.
 func (e *Engine) Shards() int { return e.plan.count() }
@@ -418,6 +453,7 @@ func (e *Engine) drainCompleted() {
 
 func (e *Engine) recordCheckpoint(info CheckpointInfo) {
 	e.stats.Checkpoints = append(e.stats.Checkpoints, info)
+	e.cpEpoch.Store(info.Epoch)
 	if e.log != nil {
 		// Records at or before info.AsOfTick are covered by the new
 		// image; keep one prior image's worth for safety, and never prune

@@ -200,7 +200,7 @@ func OpenStandby(opts Options, nextTick uint64, data []byte) (*Engine, error) {
 		// no image beneath it: unrecoverable by construction.
 		return nil, errors.New("engine: a standby needs a checkpointing mode (ModeNone cannot persist the bootstrap snapshot)")
 	}
-	e, _, err := open(opts, false)
+	e, _, err := open(opts, false, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +250,7 @@ func (e *Engine) writeBootstrapImage(asOfTick uint64) error {
 	if err := b.WriteHeader(hdr); err != nil {
 		return fmt.Errorf("engine: bootstrap image: %w", err)
 	}
+	e.cpEpoch.Store(epoch)
 	e.prevAsOf = asOfTick
 	e.havePrev = true
 	return nil

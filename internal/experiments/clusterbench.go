@@ -3,13 +3,17 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/gamestate"
 	"repro/internal/metrics"
+	"repro/internal/peerram"
+	"repro/internal/replication"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -25,12 +29,17 @@ import (
 //     cost the model predicts;
 //   - coordinated world checkpoint — the wall of a cut at a common tick,
 //     every node CheckpointAsOf the same tick concurrently;
-//   - whole-world recovery — crash at a barrier, then every node restores
-//     its newest image and replays its own WAL in parallel
-//     (cluster.Recover); the wall is the slowest node's pipeline. Note the
-//     design point measured here: every node runs a full-geometry engine
-//     over its partition, so per-node restore spans the whole image while
-//     replay and tick apply scale with 1/nodes — see DESIGN.md;
+//   - whole-world recovery — crash at a barrier, then recover under each
+//     recovery mode on the axis (cluster.Recover); the wall is the slowest
+//     node. The disk rung restores the newest image and replays the WAL in
+//     parallel; the standby rung promotes a warm mirror; the peer-RAM rung
+//     streams a surviving peer's compressed in-RAM replica through the same
+//     pipeline, and its row also reports the replica RAM paid per node.
+//     When the disk is throttled, peer-RAM recovery must come in strictly
+//     below the disk pipeline at sizes > 1 — the cell fails otherwise.
+//     Note the design point measured here: every node runs a full-geometry
+//     engine over its partition, so per-node restore spans the whole image
+//     while replay and tick apply scale with 1/nodes — see DESIGN.md;
 //   - live migration — for sizes > 1, a slot-aligned sub-range moves
 //     between nodes mid-run over the replication range-transfer protocol;
 //     the row reports the live window, the cutover install pause, and the
@@ -42,11 +51,21 @@ import (
 // experiment doubles as the cluster's crash-equivalence acceptance check in
 // the CI smoke matrix.
 
-// ClusterBenchRow is one (scenario, cluster size) measurement.
+// ClusterBenchRow is one (scenario, cluster size, recovery mode)
+// measurement.
 type ClusterBenchRow struct {
 	Scenario  string
 	Nodes     int
 	Effective int
+	// Mode is the recovery-mode axis value requested at Recover time;
+	// Served lists the rung that actually recovered each partition (a
+	// single-node peerram cell legitimately falls back to disk: it has no
+	// peer).
+	Mode   string
+	Served string
+	// ReplicaKB is the mean compressed replica RAM per node a peer-RAM cell
+	// paid for its recovery speed (0 for the other modes).
+	ReplicaKB float64
 	// TickMs is the mean synchronized (barrier) tick wall.
 	TickMs float64
 	// CheckpointMs is the coordinated world checkpoint wall.
@@ -75,8 +94,8 @@ type ClusterBenchResult struct {
 // Table renders the rows.
 func (r *ClusterBenchResult) Table() *metrics.TextTable {
 	t := metrics.NewTextTable()
-	t.Header("scenario", "nodes", "eff", "tick ms", "ckpt ms", "recovery ms",
-		"world tick", "mig ticks", "install ms", "blackout", "identical")
+	t.Header("scenario", "nodes", "eff", "mode", "served", "tick ms", "ckpt ms",
+		"recovery ms", "replica KB", "world tick", "mig ticks", "install ms", "blackout", "identical")
 	for _, row := range r.Rows {
 		mig := "-"
 		inst := "-"
@@ -86,10 +105,15 @@ func (r *ClusterBenchResult) Table() *metrics.TextTable {
 			inst = fmt.Sprintf("%.2f", row.MigInstallMs)
 			bo = fmt.Sprint(row.MigBlackout)
 		}
+		rep := "-"
+		if row.ReplicaKB > 0 {
+			rep = fmt.Sprintf("%.1f", row.ReplicaKB)
+		}
 		t.Row(row.Scenario, fmt.Sprint(row.Nodes), fmt.Sprint(row.Effective),
+			row.Mode, row.Served,
 			fmt.Sprintf("%.3f", row.TickMs),
 			fmt.Sprintf("%.2f", row.CheckpointMs),
-			fmt.Sprintf("%.2f", row.RecoveryMs),
+			fmt.Sprintf("%.2f", row.RecoveryMs), rep,
 			fmt.Sprint(row.WorldTick), mig, inst, bo, fmt.Sprint(row.Identical))
 	}
 	return t
@@ -124,6 +148,9 @@ type ClusterBenchOptions struct {
 	// scenariobench default (10x the scale's paper disk), negative
 	// unthrottled.
 	DiskBytesPerSec float64
+	// RecoveryModes is the recovery-mode axis; every (scenario, size) cell
+	// runs once per mode. Defaults to {disk, standby, peerram}.
+	RecoveryModes []cluster.RecoveryMode
 }
 
 func clusterBenchDefaults(s Scale, opts ClusterBenchOptions) ClusterBenchOptions {
@@ -146,6 +173,11 @@ func clusterBenchDefaults(s Scale, opts ClusterBenchOptions) ClusterBenchOptions
 		opts.DiskBytesPerSec = 10 * Config(s).Params.DiskBandwidth
 	} else if opts.DiskBytesPerSec < 0 {
 		opts.DiskBytesPerSec = 0
+	}
+	if len(opts.RecoveryModes) == 0 {
+		opts.RecoveryModes = []cluster.RecoveryMode{
+			cluster.RecoveryDisk, cluster.RecoveryStandby, cluster.RecoveryPeerRAM,
+		}
 	}
 	return opts
 }
@@ -184,40 +216,104 @@ func RunClusterBench(s Scale, seed int64, opts ClusterBenchOptions) (*ClusterBen
 			return nil, err
 		}
 		tickSeries := metrics.Series{Name: name}
-		recSeries := metrics.Series{Name: name}
+		recSeries := make([]metrics.Series, len(opts.RecoveryModes))
+		for mi, mode := range opts.RecoveryModes {
+			recSeries[mi] = metrics.Series{Name: name + "/" + mode.String()}
+		}
 		for _, nodes := range opts.Sizes {
-			row, err := clusterBenchCell(table, src, ref, nodes, opts)
-			if err != nil {
-				return nil, fmt.Errorf("clusterbench %s/nodes=%d: %w", name, nodes, err)
+			wall := make(map[cluster.RecoveryMode]float64)
+			eff := 1
+			for mi, mode := range opts.RecoveryModes {
+				row, err := clusterBenchCell(table, src, ref, nodes, mode, opts)
+				if err != nil {
+					return nil, fmt.Errorf("clusterbench %s/nodes=%d/%s: %w", name, nodes, mode, err)
+				}
+				res.Rows = append(res.Rows, row)
+				if mi == 0 {
+					tickSeries.Add(float64(nodes), row.TickMs)
+				}
+				recSeries[mi].Add(float64(nodes), row.RecoveryMs)
+				wall[mode] = row.RecoveryMs
+				eff = row.Effective
 			}
-			res.Rows = append(res.Rows, row)
-			tickSeries.Add(float64(nodes), row.TickMs)
-			recSeries.Add(float64(nodes), row.RecoveryMs)
+			// The axis's headline claim: with a real (throttled) disk and a
+			// peer to restore from, peer-RAM recovery beats the disk pipeline
+			// outright. A cell that does not is a regression, not a data point.
+			if dw, ok := wall[cluster.RecoveryDisk]; ok && opts.DiskBytesPerSec > 0 && eff > 1 {
+				if pw, ok := wall[cluster.RecoveryPeerRAM]; ok && pw >= dw {
+					return nil, fmt.Errorf("clusterbench %s/nodes=%d: peer-RAM recovery %.2f ms not below the disk pipeline %.2f ms",
+						name, nodes, pw, dw)
+				}
+			}
 		}
 		res.Tick.Add(tickSeries)
-		res.Recovery.Add(recSeries)
+		for _, s := range recSeries {
+			res.Recovery.Add(s)
+		}
 	}
 	return res, nil
 }
 
-// clusterBenchCell measures one (scenario, size) cell end to end.
+// clusterBenchCell measures one (scenario, size, recovery mode) cell end to
+// end: tick the scenario through a coordinated cut (and a migration at
+// sizes > 1), crash at the final barrier, recover under the cell's mode, and
+// verify byte identity against the never-crashed serial reference.
 func clusterBenchCell(table gamestate.Table, src workload.Source, ref []byte,
-	nodes int, opts ClusterBenchOptions) (ClusterBenchRow, error) {
-	row := ClusterBenchRow{Scenario: src.Name(), Nodes: nodes, MigTicks: -1}
+	nodes int, mode cluster.RecoveryMode, opts ClusterBenchOptions) (ClusterBenchRow, error) {
+	row := ClusterBenchRow{Scenario: src.Name(), Nodes: nodes, Mode: mode.String(), MigTicks: -1}
 	dir, err := os.MkdirTemp("", "mmocluster")
 	if err != nil {
 		return row, err
 	}
 	defer os.RemoveAll(dir)
 
-	c, err := cluster.New(cluster.Options{
+	copts := cluster.Options{
 		Table: table, Dir: dir, Mode: engine.ModeCopyOnUpdate,
 		Nodes: nodes, DiskBytesPerSec: opts.DiskBytesPerSec,
-	})
+	}
+	var mesh *peerram.Mesh
+	if mode == cluster.RecoveryPeerRAM {
+		// The mesh is sized to the effective node count (the requested size
+		// may fold on small worlds); it outlives the cluster, because the
+		// surviving peers' RAM is what Recover restores from.
+		mesh = peerram.NewMesh(cluster.Uniform(table.NumObjects(), nodes).NumNodes, peerram.Options{})
+		copts.PeerRAM = mesh
+	}
+	c, err := cluster.New(copts)
 	if err != nil {
 		return row, err
 	}
 	row.Effective = len(c.Nodes())
+
+	// The standby rung mirrors every node over the warm-standby stream.
+	var standbys []*replication.Standby
+	var shippers []*replication.Shipper
+	if mode == cluster.RecoveryStandby {
+		for i, n := range c.Nodes() {
+			pc, sc := net.Pipe()
+			sb, err := replication.StartStandby(engine.Options{
+				Table: table, Dir: fmt.Sprintf("%s/standby-%d", dir, i),
+				Mode: engine.ModeCopyOnUpdate, DiskBytesPerSec: opts.DiskBytesPerSec,
+			}, sc)
+			if err != nil {
+				c.Close()
+				return row, err
+			}
+			sh, err := replication.StartShipper(n.E, pc, replication.ShipperOptions{MaxLagTicks: 64})
+			if err != nil {
+				sb.Close()
+				c.Close()
+				return row, err
+			}
+			select {
+			case <-sb.Ready():
+			case <-sb.Done():
+				c.Close()
+				return row, fmt.Errorf("standby %d died during bootstrap: %w", i, sb.Err())
+			}
+			standbys, shippers = append(standbys, sb), append(shippers, sh)
+		}
+	}
 	total := opts.WarmTicks + opts.LiveTicks
 	migStart := opts.WarmTicks + 2
 	migFinish := total - 2
@@ -266,18 +362,54 @@ func clusterBenchCell(table gamestate.Table, src workload.Source, ref []byte,
 		}
 	}
 	row.TickMs = tickWall.Seconds() * 1e3 / float64(total)
+	for i, sh := range shippers {
+		if err := sh.AwaitAck(uint64(total-1), 30*time.Second); err != nil {
+			c.Close()
+			return row, fmt.Errorf("standby %d behind at the crash: %w", i, err)
+		}
+		sh.Stop() //nolint:errcheck // stream teardown
+	}
 	if err := c.Close(); err != nil { // crash at the final tick barrier
 		return row, err
+	}
+	if mesh != nil {
+		// The RAM bill, measured at the moment of the crash: compressed
+		// image + delta bytes each surviving node holds for its peers.
+		stats := mesh.MemStats()
+		var sum int64
+		for _, b := range stats {
+			sum += b
+		}
+		row.ReplicaKB = float64(sum) / float64(len(stats)) / 1024
 	}
 
 	rc, wr, err := cluster.Recover(dir, cluster.Options{
 		Mode: engine.ModeCopyOnUpdate, DiskBytesPerSec: opts.DiskBytesPerSec,
+		RecoveryMode: mode, PeerRAM: mesh, Standbys: standbys,
 	})
+	for _, sb := range standbys {
+		defer sb.Close()
+	}
 	if err != nil {
 		return row, err
 	}
 	row.RecoveryMs = wr.Wall.Seconds() * 1e3
 	row.WorldTick = wr.WorldTick
+	served := make([]string, len(wr.Modes))
+	for i, m := range wr.Modes {
+		served[i] = m.String()
+	}
+	row.Served = strings.Join(served, ",")
+	// Served-mode honesty: outside the legitimate single-node peerram
+	// fallback (no peer exists), the requested rung must be the one that
+	// recovered every partition.
+	for i, m := range wr.Modes {
+		if m != mode && !(mode == cluster.RecoveryPeerRAM && row.Effective == 1) {
+			rc.Close()
+			return row, fmt.Errorf("node %d recovered via %s, want %s (fallbacks: %s)",
+				i, m, mode, wr.Fallbacks[i])
+		}
+	}
 	got := make([]byte, table.StateBytes())
 	if err := rc.ReadWorld(got); err != nil {
 		rc.Close()

@@ -7,8 +7,9 @@ import (
 )
 
 // TestClusterBenchMicro runs the cluster sweep on a tiny geometry: every
-// row must recover byte-identical, migrations must drop zero ticks, and
-// the measured legs must be non-empty.
+// (size, recovery mode) cell must recover byte-identical, migrations must
+// drop zero ticks, the served-mode column must be honest, and the measured
+// legs must be non-empty.
 func TestClusterBenchMicro(t *testing.T) {
 	tab := gamestate.Table{Rows: 8192, Cols: 8, CellSize: 4, ObjSize: 512}
 	res, err := RunClusterBench(Quick, 3, ClusterBenchOptions{
@@ -23,28 +24,40 @@ func TestClusterBenchMicro(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 3 {
-		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	if len(res.Rows) != 9 { // 3 sizes × {disk, standby, peerram}
+		t.Fatalf("got %d rows, want 9", len(res.Rows))
 	}
 	for _, row := range res.Rows {
 		if !row.Identical {
-			t.Errorf("%s/nodes=%d: byte identity failed", row.Scenario, row.Nodes)
+			t.Errorf("%s/nodes=%d/%s: byte identity failed", row.Scenario, row.Nodes, row.Mode)
 		}
 		if row.WorldTick != 16 {
-			t.Errorf("%s/nodes=%d: recovered to world tick %d, want 16", row.Scenario, row.Nodes, row.WorldTick)
+			t.Errorf("%s/nodes=%d/%s: recovered to world tick %d, want 16",
+				row.Scenario, row.Nodes, row.Mode, row.WorldTick)
 		}
 		if row.RecoveryMs <= 0 || row.CheckpointMs <= 0 || row.TickMs <= 0 {
-			t.Errorf("%s/nodes=%d: empty measurement: %+v", row.Scenario, row.Nodes, row)
+			t.Errorf("%s/nodes=%d/%s: empty measurement: %+v", row.Scenario, row.Nodes, row.Mode, row)
+		}
+		switch {
+		case row.Mode == "peerram" && row.Effective > 1:
+			if row.ReplicaKB <= 0 {
+				t.Errorf("%s/nodes=%d/%s: no replica RAM reported", row.Scenario, row.Nodes, row.Mode)
+			}
+		case row.Mode == "peerram": // single node: no peer, disk fallback
+			if row.Served != "disk" {
+				t.Errorf("%s/nodes=%d/%s: served %q, want disk fallback", row.Scenario, row.Nodes, row.Mode, row.Served)
+			}
 		}
 		if row.Effective > 1 {
 			if row.MigTicks < 0 {
-				t.Errorf("%s/nodes=%d: no migration leg ran", row.Scenario, row.Nodes)
+				t.Errorf("%s/nodes=%d/%s: no migration leg ran", row.Scenario, row.Nodes, row.Mode)
 			}
 			if row.MigBlackout != 0 {
-				t.Errorf("%s/nodes=%d: migration blacked out %d ticks", row.Scenario, row.Nodes, row.MigBlackout)
+				t.Errorf("%s/nodes=%d/%s: migration blacked out %d ticks",
+					row.Scenario, row.Nodes, row.Mode, row.MigBlackout)
 			}
 		} else if row.MigTicks >= 0 {
-			t.Errorf("%s/nodes=%d: single-node row reports a migration", row.Scenario, row.Nodes)
+			t.Errorf("%s/nodes=%d/%s: single-node row reports a migration", row.Scenario, row.Nodes, row.Mode)
 		}
 	}
 	if !res.Identical() {

@@ -20,6 +20,36 @@ import (
 // ShardRange is one shard's contiguous object range [Lo, Hi).
 type ShardRange struct{ Lo, Hi int }
 
+// ImageSource is an alternative restore image: when ParallelOptions.Image is
+// set, the pipeline restores every shard range from it instead of choosing
+// among the A/B disk backups. It is the hook peer-RAM recovery uses to
+// stream a compressed replica image held in a surviving node's memory
+// through the same gated restore∥replay pipeline as a disk image.
+type ImageSource interface {
+	// Info identifies the image: the checkpoint epoch it carries and the
+	// first tick it does NOT cover (replay starts there). NextTick 0 means
+	// an image of the pre-tick world — structurally a zeroed slab.
+	Info() (epoch, nextTick uint64, err error)
+	// ReadRange fills dst with the image bytes of objects [lo, hi);
+	// len(dst) is exactly (hi-lo)×objSize. Shard restore goroutines call it
+	// concurrently for disjoint ranges.
+	ReadRange(lo, hi int, dst []byte) error
+}
+
+// RecordSource streams tick-ordered log records from outside the local WAL.
+// When ParallelOptions.Prelude is set, its records replay — through the same
+// gated per-shard workers — before the local log's, and local records at or
+// below the prelude's last tick are skipped: for every tick exactly one
+// source is authoritative, so absolute updates and re-executed actions never
+// apply out of tick order.
+type RecordSource interface {
+	// Next returns the next record in tick order; ok=false ends the stream.
+	// Each returned payload must stay valid until the pipeline completes
+	// (records are fanned out to per-shard workers and consumed
+	// asynchronously).
+	Next() (tick uint64, payload []byte, ok bool, err error)
+}
+
 // ParallelOptions configures RecoverParallel.
 type ParallelOptions struct {
 	// A and B are the double backup.
@@ -39,6 +69,13 @@ type ParallelOptions struct {
 	// arrive in log order on a single goroutine; calls for different shards
 	// run concurrently. Required when Log is set.
 	Apply func(shard int, tick uint64, payload []byte) (int64, error)
+	// Image, when non-nil, replaces the A/B disk restore: every shard reads
+	// its range from it and replay starts at its NextTick. A still supplies
+	// the object geometry; neither backup is read.
+	Image ImageSource
+	// Prelude, when non-nil, replays before the local log and supersedes the
+	// overlapping local span (see RecordSource). Requires Log.
+	Prelude RecordSource
 }
 
 // ShardTiming is one shard's stage breakdown.
@@ -68,6 +105,19 @@ type ParallelResult struct {
 	TotalDuration time.Duration
 	// Shards holds one entry per shard range.
 	Shards []ShardTiming
+	// LastLogTick is the highest tick present in the local Log, counted
+	// before any skip (records below the image floor or superseded by the
+	// Prelude included): it marks where the local WAL's durable history
+	// ends, which peer-RAM recovery needs to know to heal the log gaplessly.
+	LastLogTick uint64
+	// SawLogTick reports whether the Log held any record at all.
+	SawLogTick bool
+	// LastTickRecords is the number of records the local Log holds at
+	// LastLogTick. A crash can tear the log's final tick (e.g. a range
+	// install flushed without the tick's update batch that follows it);
+	// comparing this count against a peer's complete copy of the same tick
+	// detects the tear.
+	LastTickRecords int
 }
 
 // Overlap returns the recovery time saved by pipelining restore and replay
@@ -143,23 +193,44 @@ func RecoverParallel(opts ParallelOptions) (ParallelResult, error) {
 	if opts.Log != nil && opts.Apply == nil {
 		return res, fmt.Errorf("recovery: Log set without Apply")
 	}
+	if opts.Prelude != nil && opts.Log == nil {
+		return res, fmt.Errorf("recovery: Prelude set without Log")
+	}
 
-	idx, h, err := ChooseBackup(opts.A, opts.B)
-	if err != nil {
-		return res, err
-	}
-	res.BackupIndex = idx
-	src := opts.A
-	if idx == 1 {
-		src = opts.B
-	}
+	var src *disk.Backup
+	idx := -1
 	from := uint64(0)
-	if idx >= 0 {
-		res.Restored = true
-		res.Epoch = h.Epoch
-		res.AsOfTick = h.AsOfTick
-		res.NextTick = h.AsOfTick + 1
-		from = h.AsOfTick + 1
+	if opts.Image != nil {
+		epoch, next, err := opts.Image.Info()
+		if err != nil {
+			return res, err
+		}
+		res.Epoch = epoch
+		from = next
+		if next > 0 {
+			res.Restored = true
+			res.AsOfTick = next - 1
+			res.NextTick = next
+		}
+	} else {
+		var h disk.Header
+		var err error
+		idx, h, err = ChooseBackup(opts.A, opts.B)
+		if err != nil {
+			return res, err
+		}
+		res.BackupIndex = idx
+		src = opts.A
+		if idx == 1 {
+			src = opts.B
+		}
+		if idx >= 0 {
+			res.Restored = true
+			res.Epoch = h.Epoch
+			res.AsOfTick = h.AsOfTick
+			res.NextTick = h.AsOfTick + 1
+			from = h.AsOfTick + 1
+		}
 	}
 
 	n := len(ranges)
@@ -188,7 +259,13 @@ func RecoverParallel(opts ParallelOptions) (ParallelResult, error) {
 			defer close(gate[s])
 			t0 := time.Now()
 			region := opts.Slab[r.Lo*objSize : r.Hi*objSize]
-			if idx < 0 {
+			if opts.Image != nil {
+				if len(region) > 0 {
+					if err := opts.Image.ReadRange(r.Lo, r.Hi, region); err != nil {
+						shardErrs[s] = fmt.Errorf("recovery: restore shard %d [%d,%d): %w", s, r.Lo, r.Hi, err)
+					}
+				}
+			} else if idx < 0 {
 				for i := range region {
 					region[i] = 0
 				}
@@ -257,32 +334,67 @@ func RecoverParallel(opts ParallelOptions) (ParallelResult, error) {
 			}(s)
 		}
 
-		r, err := opts.Log.NewReader()
-		if err != nil {
-			readerErr = err
-		} else {
+		fan := func(tick uint64, payload []byte) {
+			if !sawTick || tick != lastTick {
+				res.ReplayedTicks++
+			}
+			sawTick = true
+			lastTick = tick
+			for s := range feeds {
+				feeds[s] <- walRec{tick: tick, payload: payload}
+			}
+		}
+		// Prelude first: its records are authoritative for every tick they
+		// carry, so the local log's copies of those ticks are skipped below.
+		var preludeLast uint64
+		sawPrelude := false
+		if opts.Prelude != nil {
 			for {
-				tick, payload, err := r.Next()
-				if err == io.EOF {
+				tick, payload, ok, err := opts.Prelude.Next()
+				if err != nil {
+					readerErr = fmt.Errorf("recovery: prelude: %w", err)
 					break
 				}
-				if err != nil {
-					readerErr = fmt.Errorf("recovery: replay: %w", err)
+				if !ok {
 					break
 				}
 				if tick < from {
-					continue
+					continue // covered by the image
 				}
-				if !sawTick || tick != lastTick {
-					res.ReplayedTicks++
-				}
-				sawTick = true
-				lastTick = tick
-				for s := range feeds {
-					feeds[s] <- walRec{tick: tick, payload: payload}
-				}
+				sawPrelude, preludeLast = true, tick
+				fan(tick, payload)
 			}
-			r.Close() //nolint:errcheck // read-only handles
+		}
+		if readerErr == nil {
+			r, err := opts.Log.NewReader()
+			if err != nil {
+				readerErr = err
+			} else {
+				for {
+					tick, payload, err := r.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						readerErr = fmt.Errorf("recovery: replay: %w", err)
+						break
+					}
+					if !res.SawLogTick || tick > res.LastLogTick {
+						res.LastLogTick, res.SawLogTick = tick, true
+						res.LastTickRecords = 1
+					} else if tick == res.LastLogTick {
+						res.LastTickRecords++
+					}
+					if tick < from {
+						continue
+					}
+					if sawPrelude && tick <= preludeLast {
+						continue // the prelude already carried this tick
+					}
+					fan(tick, payload)
+				}
+				r.Close() //nolint:errcheck // read-only handles
+			}
 		}
 		for s := range feeds {
 			close(feeds[s])

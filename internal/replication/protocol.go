@@ -68,6 +68,31 @@ const (
 	ftResume byte = 9 // nextTick+1 u64, or 0 for a fresh bootstrap
 )
 
+// Peer-RAM replica frames (internal/peerram). They ride the same
+// length+CRC framing (WriteFrame/ReadFrame) and the same ack-based
+// retention discipline as the warm-standby stream, multiplexed over the
+// cluster's existing connections — a replica holder is a tick-stream
+// consumer that keeps compressed bytes in RAM instead of a live engine.
+// Exported so internal/peerram can speak the protocol without a second
+// framing layer; values stay clear of the standby stream's 1–9.
+const (
+	// FrameReplicaImage replaces the holder's image for one owner:
+	// epoch u64, nextTick u64, rawLen u64, flate-compressed slab. The
+	// holder's deltas below nextTick become obsolete and are dropped.
+	FrameReplicaImage byte = 10
+	// FrameReplicaDelta appends one tick record to the holder's delta tail:
+	// tick u64, rawLen u64, flate-compressed engine log record body. Ticks
+	// arrive in order; several records may share one tick (a range install
+	// and the tick's batch).
+	FrameReplicaDelta byte = 11
+	// FrameReplicaAck is the holder's retention watermark: the first tick it
+	// still needs from the sender's WAL (everything below is safely in the
+	// holder's RAM). It plays the role ftAck plays for a standby — the
+	// sender feeds it to TickSub.NeedFrom so log pruning never outruns the
+	// replica.
+	FrameReplicaAck byte = 12
+)
+
 // maxFrameSize bounds one frame; larger lengths mark a corrupt or hostile
 // stream. It must accommodate a whole tick record (mirrors wal's record
 // bound) plus the frame type byte and a snapshot chunk.
