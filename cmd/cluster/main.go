@@ -39,6 +39,16 @@
 // (auto: peer-RAM → standby → disk), prints which mode actually served each
 // partition and why any rung fell through, and verifies the recovered world
 // byte-for-byte against the single-node reference.
+//
+// -coordination skew runs the world role under the bounded-skew discipline
+// (internal/skew) instead of the lock-step barrier: each node runs up to
+// -max-skew ticks ahead of the slowest, checkpoints are per-node and
+// staggered (-checkpoint-every, no coordinated cut), the crash leaves the
+// nodes at different ticks on purpose, and recovery reconstructs the
+// consistent cut from the logged-message store (skew.Recover), rolls the
+// laggards forward, re-dispatches the rolled-back ticks and verifies the
+// same byte identity. -recovery-mode does not apply: cut reconstruction
+// rides the disk pipeline.
 package main
 
 import (
@@ -57,6 +67,7 @@ import (
 	"repro/internal/gamestate"
 	"repro/internal/peerram"
 	"repro/internal/replication"
+	"repro/internal/skew"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -78,7 +89,9 @@ func main() {
 		shards   = flag.Int("shards", 1, "node: engine shards")
 		mode     = flag.String("mode", "cou", "node: checkpoint method (cou | naive)")
 		wnodes   = flag.Int("world-nodes", 2, "world: in-process node count")
-		recMode  = flag.String("recovery-mode", "auto", "world: recovery ladder (auto | peerram | standby | disk)")
+		recMode  = flag.String("recovery-mode", "auto", "world: recovery ladder (auto | peerram | standby | disk); barrier coordination only")
+		coord    = flag.String("coordination", "barrier", "world: tick coordination (barrier | skew)")
+		maxSkew  = flag.Int("max-skew", 4, "world: bounded-skew window in ticks (skew coordination)")
 		netTO    = flag.Duration("net-timeout", 30*time.Second,
 			"bound on dial/accept and on any single command-stream read; a dead peer "+
 				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
@@ -91,11 +104,18 @@ func main() {
 	case "coord":
 		runCoord(table, *nodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *netTO)
 	case "world":
-		rm, err := cluster.ParseRecoveryMode(*recMode)
-		if err != nil {
-			log.Fatal(err)
+		switch *coord {
+		case "barrier":
+			rm, err := cluster.ParseRecoveryMode(*recMode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runWorld(table, *dir, *wnodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *shards, rm)
+		case "skew":
+			runWorldSkew(table, *dir, *wnodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *shards, *maxSkew)
+		default:
+			log.Fatalf("cluster: -coordination must be barrier or skew, got %q", *coord)
 		}
-		runWorld(table, *dir, *wnodes, *scenario, *ticks, *updates, *skew, *seed, *ckptEach, *shards, rm)
 	default:
 		fmt.Fprintln(os.Stderr, "cluster: -role must be node, coord or world")
 		flag.Usage()
@@ -241,6 +261,102 @@ func runWorld(table gamestate.Table, dir string, nodes int, scenario string, tic
 	ref.Close()
 	fmt.Printf("world verified: %d nodes recovered via [%s] at tick %d — byte-identical to the single-node reference\n",
 		eff, joinModes(wr.Modes), ticks)
+}
+
+// runWorldSkew runs the scenario on an in-process bounded-skew cluster:
+// nodes tick up to maxSkew apart with staggered per-node checkpoints, the
+// crash leaves them at different ticks on purpose, skew.Recover
+// reconstructs the consistent cut from the logged-message store and rolls
+// the laggards forward, the coordinator re-dispatches the rolled-back ticks
+// (the workload is pure), and the result is verified byte-for-byte against
+// the single-node reference.
+func runWorldSkew(table gamestate.Table, dir string, nodes int, scenario string, ticks, updates int,
+	wskew float64, seed int64, ckptEach, shards, maxSkew int) {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "cluster-skew-world")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	src, err := workload.New(scenario, workload.Config{
+		Table: table, UpdatesPerTick: updates, Ticks: ticks, Skew: wskew, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := skew.New(skew.Options{
+		Table: table, Dir: dir, Mode: engine.ModeCopyOnUpdate,
+		Nodes: nodes, Shards: shards, MaxSkew: maxSkew, CheckpointEvery: ckptEach,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eff := len(c.Nodes())
+	log.Printf("world: %d nodes over %d objects, bounded-skew window %d, per-node checkpoints every %d ticks",
+		eff, table.NumObjects(), maxSkew, ckptEach)
+
+	var cells []uint32
+	var batch []wal.Update
+	t0 := time.Now()
+	for t := 0; t < ticks; t++ {
+		cells, batch = workload.TickUpdates(src, t, cells, batch)
+		if err := c.Tick(batch); err != nil {
+			log.Fatalf("world: tick %d: %v", t, err)
+		}
+	}
+	log.Printf("world: %d ticks dispatched in %v (coordinator blocked on the window for %v total)",
+		ticks, time.Since(t0).Round(time.Millisecond), c.WindowWait().Round(time.Millisecond))
+	applied := make([]uint64, eff)
+	for i := range applied {
+		applied[i] = c.AppliedTick(i)
+	}
+	if err := c.Crash(); err != nil { // mid-window: nodes at different ticks
+		log.Fatal(err)
+	}
+	log.Printf("world: crash with node ticks %v", applied)
+
+	rc, wr, err := skew.Recover(dir, skew.Options{Mode: engine.ModeCopyOnUpdate, Shards: shards})
+	if err != nil {
+		log.Fatalf("world: recovery: %v", err)
+	}
+	defer rc.Close()
+	log.Printf("world: cut reconstructed at tick %d; rolled forward %v ticks per node; recovered in %v (slowest partition)",
+		wr.Cut, wr.RolledForward, wr.Wall.Round(time.Millisecond))
+	for t := int(wr.WorldTick); t < ticks; t++ {
+		cells, batch = workload.TickUpdates(src, t, cells, batch)
+		if err := rc.Tick(batch); err != nil {
+			log.Fatalf("world: re-dispatch tick %d: %v", t, err)
+		}
+	}
+	if err := rc.Join(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify per cell against the single-node serial reference.
+	ref, err := engine.Open(engine.Options{Table: table, Mode: engine.ModeNone, InMemory: true, Shards: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < ticks; t++ {
+		cells, batch = workload.TickUpdates(src, t, cells, batch)
+		if err := ref.ApplyTick(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	got := make([]byte, table.StateBytes())
+	if err := rc.ReadWorld(got); err != nil {
+		log.Fatal(err)
+	}
+	if rc.NextTick() != uint64(ticks) || !bytes.Equal(got, ref.Store().Slab()) {
+		log.Fatalf("world: recovered state DIVERGED from the single-node reference (tick %d, want %d)",
+			rc.NextTick(), ticks)
+	}
+	ref.Close()
+	fmt.Printf("world verified: %d nodes, cut %d, window %d — byte-identical to the single-node reference at tick %d\n",
+		eff, wr.Cut, maxSkew, ticks)
 }
 
 // joinModes renders the per-partition served modes compactly.

@@ -29,7 +29,10 @@
 // with different throttles are not comparable, so the gate refuses
 // them). -gate compares the fresh report against the committed
 // -bench-baseline within -gate-tolerance and exits non-zero on regression
-// (the CI perf gate). Intentional perf changes refresh the baseline with:
+// (the CI perf gate); -gate-preflight only checks that the committed
+// baseline is comparable with the sweep config and exits, the fail-fast CI
+// step that runs before any benchmark time is spent. Intentional perf
+// changes refresh the baseline with:
 //
 //	experiments -exp scenariobench -scale quick -write-baseline
 //
@@ -40,8 +43,13 @@
 // served mode and compressed replica RAM reported, and live partition
 // migration with a zero-blackout check and per-cell byte identity against
 // a single-node reference. -cluster-scenarios, -cluster-sizes and
-// -cluster-recovery-modes trim the sweep. It is the measured successor of
-// the analytical multiserver model.
+// -cluster-recovery-modes trim the sweep. -cluster-coordination adds the
+// tick-coordination axis: "skew" cells run the same scenarios under the
+// bounded-skew discipline (internal/skew, window -cluster-max-skew) with
+// live cross-partition messages, uncoordinated per-node cuts and
+// cut-reconstruction recovery, reporting the coordinator's per-tick blocked
+// time next to the barrier's. It is the measured successor of the
+// analytical multiserver model.
 //
 // chaosbench runs seeded fault-injection schedules (internal/chaos) over
 // scenario × fault site × seed: a backup device that dies mid-flush, a
@@ -127,35 +135,38 @@ func main() {
 		expFlag = flag.String("exp", "all",
 			"comma-separated experiments, 'all', or 'list' (registered: "+
 				strings.Join(experimentNames(), ", ")+")")
-		scaleFlag = flag.String("scale", "quick", "quick (1/10 scale) or full (paper scale)")
-		outDir    = flag.String("out", "", "directory for CSV output (optional)")
-		gnuplot   = flag.Bool("gnuplot", false, "also write gnuplot scripts next to the CSVs")
-		seed      = flag.Int64("seed", 1, "trace seed")
-		diskBench = flag.Bool("disk-bench", false, "measure real disk bandwidth for table3 (writes 256 MB)")
-		shards    = flag.Int("shards", 0, "engine shards for fig6 validation (0 = paper-faithful single shard)")
-		recLog    = flag.Int("recovery-log-ticks", 0, "single log length for recoverytime (0 = scale default sweep)")
-		recDisk   = flag.Float64("recovery-disk", 0, "recoverytime/failovertime backup throttle in bytes/sec (0 = paper disk, <0 = unthrottled)")
-		foLog     = flag.Int("failover-log-ticks", 0, "failovertime log length behind the crash (0 = scale default)")
-		foUpd     = flag.Int("failover-updates", 0, "single failovertime update rate (0 = default sweep)")
-		foLag     = flag.Int("failover-lag", 0, "single failovertime replay-lag budget (0 = default sweep)")
-		foShards  = flag.Int("failover-shards", 0, "single failovertime shard count (0 = default sweep)")
-		foCheck   = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
-		clustScen = flag.String("cluster-scenarios", "", "comma-separated clusterbench scenario filter (empty = hotspot,migration,flashcrowd)")
-		clustSize = flag.String("cluster-sizes", "", "comma-separated clusterbench node counts (empty = 1,2,4)")
-		clustRec  = flag.String("cluster-recovery-modes", "", "comma-separated clusterbench recovery-mode axis (empty = disk,standby,peerram)")
-		chaosScen = flag.String("chaos-scenarios", "", "comma-separated chaosbench scenario filter (empty = flashcrowd,hotspot,migration)")
-		chaosSite = flag.String("chaos-sites", "", "comma-separated chaosbench fault sites (empty = disk,replink,cluster,peerram)")
-		chaosSeed = flag.String("chaos-seeds", "", "comma-separated chaosbench schedule seeds (empty = 1,2,3)")
-		gwProf    = flag.String("gateway-profiles", "", "comma-separated gatewaybench churn profiles (empty = "+joinProfiles()+")")
-		gwSize    = flag.String("gateway-sizes", "", "comma-separated gatewaybench node counts (empty = 1,2,4)")
-		gwClients = flag.Int("gateway-clients", 0, "gatewaybench simulated client population (0 = scale default)")
-		benchScen = flag.String("bench-scenarios", "", "comma-separated scenariobench scenario filter (empty = all registered scenarios)")
-		benchDisk = flag.Float64("bench-disk", 0, "scenariobench backup throttle in bytes/sec (0 = bench default: 10x the scale's paper disk, <0 = unthrottled); changing it makes reports incomparable with the committed baseline")
-		benchOut  = flag.String("bench-out", "BENCH_scenarios.json", "scenariobench report path")
-		benchBase = flag.String("bench-baseline", "bench_baseline.json", "scenariobench committed baseline path")
-		writeBase = flag.Bool("write-baseline", false, "scenariobench: also write the report to -bench-baseline (the documented baseline update path)")
-		gate      = flag.Bool("gate", false, "scenariobench: compare the fresh report against -bench-baseline and exit non-zero on regression")
-		gateTol   = flag.Float64("gate-tolerance", experiments.DefaultGateTolerance, "scenariobench gate: relative regression band on throughput and recovery time")
+		scaleFlag  = flag.String("scale", "quick", "quick (1/10 scale) or full (paper scale)")
+		outDir     = flag.String("out", "", "directory for CSV output (optional)")
+		gnuplot    = flag.Bool("gnuplot", false, "also write gnuplot scripts next to the CSVs")
+		seed       = flag.Int64("seed", 1, "trace seed")
+		diskBench  = flag.Bool("disk-bench", false, "measure real disk bandwidth for table3 (writes 256 MB)")
+		shards     = flag.Int("shards", 0, "engine shards for fig6 validation (0 = paper-faithful single shard)")
+		recLog     = flag.Int("recovery-log-ticks", 0, "single log length for recoverytime (0 = scale default sweep)")
+		recDisk    = flag.Float64("recovery-disk", 0, "recoverytime/failovertime backup throttle in bytes/sec (0 = paper disk, <0 = unthrottled)")
+		foLog      = flag.Int("failover-log-ticks", 0, "failovertime log length behind the crash (0 = scale default)")
+		foUpd      = flag.Int("failover-updates", 0, "single failovertime update rate (0 = default sweep)")
+		foLag      = flag.Int("failover-lag", 0, "single failovertime replay-lag budget (0 = default sweep)")
+		foShards   = flag.Int("failover-shards", 0, "single failovertime shard count (0 = default sweep)")
+		foCheck    = flag.Bool("failover-check", false, "fail if warm takeover is not strictly below cold pipeline recovery in every failovertime row (meaningful under the default paper-disk throttle)")
+		clustScen  = flag.String("cluster-scenarios", "", "comma-separated clusterbench scenario filter (empty = hotspot,migration,flashcrowd)")
+		clustSize  = flag.String("cluster-sizes", "", "comma-separated clusterbench node counts (empty = 1,2,4)")
+		clustRec   = flag.String("cluster-recovery-modes", "", "comma-separated clusterbench recovery-mode axis (empty = disk,standby,peerram)")
+		clustCoord = flag.String("cluster-coordination", "", "comma-separated clusterbench tick-coordination axis: barrier and/or skew (empty = barrier)")
+		clustSkew  = flag.Int("cluster-max-skew", 0, "clusterbench bounded-skew window for skew cells (0 = default 4)")
+		chaosScen  = flag.String("chaos-scenarios", "", "comma-separated chaosbench scenario filter (empty = flashcrowd,hotspot,migration)")
+		chaosSite  = flag.String("chaos-sites", "", "comma-separated chaosbench fault sites (empty = disk,replink,cluster,peerram)")
+		chaosSeed  = flag.String("chaos-seeds", "", "comma-separated chaosbench schedule seeds (empty = 1,2,3)")
+		gwProf     = flag.String("gateway-profiles", "", "comma-separated gatewaybench churn profiles (empty = "+joinProfiles()+")")
+		gwSize     = flag.String("gateway-sizes", "", "comma-separated gatewaybench node counts (empty = 1,2,4)")
+		gwClients  = flag.Int("gateway-clients", 0, "gatewaybench simulated client population (0 = scale default)")
+		benchScen  = flag.String("bench-scenarios", "", "comma-separated scenariobench scenario filter (empty = all registered scenarios)")
+		benchDisk  = flag.Float64("bench-disk", 0, "scenariobench backup throttle in bytes/sec (0 = bench default: 10x the scale's paper disk, <0 = unthrottled); changing it makes reports incomparable with the committed baseline")
+		benchOut   = flag.String("bench-out", "BENCH_scenarios.json", "scenariobench report path")
+		benchBase  = flag.String("bench-baseline", "bench_baseline.json", "scenariobench committed baseline path")
+		writeBase  = flag.Bool("write-baseline", false, "scenariobench: also write the report to -bench-baseline (the documented baseline update path)")
+		gate       = flag.Bool("gate", false, "scenariobench: compare the fresh report against -bench-baseline and exit non-zero on regression")
+		gateTol    = flag.Float64("gate-tolerance", experiments.DefaultGateTolerance, "scenariobench gate: relative regression band on throughput and recovery time")
+		gatePre    = flag.Bool("gate-preflight", false, "scenariobench: only check that -bench-baseline is comparable with this sweep config, then exit — the fail-fast CI step before the real gate")
 	)
 	flag.Parse()
 
@@ -194,10 +205,11 @@ func main() {
 		shards:    *shards, recLog: *recLog, recDisk: *recDisk,
 		foLog: *foLog, foUpd: *foUpd, foLag: *foLag, foShards: *foShards, foCheck: *foCheck,
 		clustScen: *clustScen, clustSize: *clustSize, clustRec: *clustRec,
+		clustCoord: *clustCoord, clustSkew: *clustSkew,
 		chaosScen: *chaosScen, chaosSite: *chaosSite, chaosSeed: *chaosSeed,
 		gwProf: *gwProf, gwSize: *gwSize, gwClients: *gwClients,
 		benchScen: *benchScen, benchDisk: *benchDisk, benchOut: *benchOut, benchBase: *benchBase,
-		writeBase: *writeBase, gate: *gate, gateTol: *gateTol}
+		writeBase: *writeBase, gate: *gate, gateTol: *gateTol, gatePre: *gatePre}
 
 	for _, e := range experimentTable {
 		hit := all
@@ -241,36 +253,39 @@ func fatalf(format string, args ...interface{}) {
 }
 
 type runner struct {
-	scale     experiments.Scale
-	seed      int64
-	outDir    string
-	gnuplot   bool
-	diskBench bool
-	shards    int
-	recLog    int
-	recDisk   float64
-	foLog     int
-	foUpd     int
-	foLag     int
-	foShards  int
-	foCheck   bool
-	clustScen string
-	clustSize string
-	clustRec  string
-	chaosScen string
-	chaosSite string
-	chaosSeed string
-	gwProf    string
-	gwSize    string
-	gwClients int
-	benchScen string
-	benchDisk float64
-	benchOut  string
-	benchBase string
-	writeBase bool
-	gate      bool
-	gateTol   float64
-	ran       int
+	scale      experiments.Scale
+	seed       int64
+	outDir     string
+	gnuplot    bool
+	diskBench  bool
+	shards     int
+	recLog     int
+	recDisk    float64
+	foLog      int
+	foUpd      int
+	foLag      int
+	foShards   int
+	foCheck    bool
+	clustScen  string
+	clustSize  string
+	clustRec   string
+	clustCoord string
+	clustSkew  int
+	chaosScen  string
+	chaosSite  string
+	chaosSeed  string
+	gwProf     string
+	gwSize     string
+	gwClients  int
+	benchScen  string
+	benchDisk  float64
+	benchOut   string
+	benchBase  string
+	writeBase  bool
+	gate       bool
+	gateTol    float64
+	gatePre    bool
+	ran        int
 }
 
 func (r *runner) emit(name string, fig *metrics.Figure) {
@@ -474,20 +489,23 @@ func (r *runner) clusterbench() {
 			Scenarios:     splitList(r.clustScen),
 			Sizes:         sizes,
 			RecoveryModes: modes,
+			Coordinations: splitList(r.clustCoord),
+			MaxSkew:       r.clustSkew,
 		})
 		if err != nil {
 			fatalf("clusterbench: %v", err)
 		}
-		r.emitTable("Cluster bench: scenario × nodes (synchronized ticks / coordinated cut / whole-world recovery / migration)",
+		r.emitTable("Cluster bench: scenario × nodes × coordination (ticks / cuts / whole-world recovery / migration)",
 			cb.Table())
 		r.emit("clusterbench-tick", &cb.Tick)
 		r.emit("clusterbench-recovery", &cb.Recovery)
 		// Zero-blackout is enforced per cell inside RunClusterBench (a
-		// nonzero count fails the cell); only identity is checked here.
+		// nonzero count fails the cell), as is the skew coordinator's
+		// wait ≈ 0 honesty bound; only identity is checked here.
 		for _, row := range cb.Rows {
 			if !row.Identical {
-				fatalf("clusterbench: %s/nodes=%d NOT byte-identical to the single-node reference",
-					row.Scenario, row.Nodes)
+				fatalf("clusterbench: %s/nodes=%d/%s NOT byte-identical to the single-node reference",
+					row.Scenario, row.Nodes, row.Coordination)
 			}
 		}
 		fmt.Printf("cluster crash equivalence: all %d rows byte-identical to the single-node reference, zero migration blackout\n",
@@ -639,15 +657,37 @@ func (r *runner) failovertime() {
 
 func (r *runner) scenariobench() {
 	r.timed("scenariobench", func() {
-		rep, err := experiments.RunScenarioBench(r.scale, r.seed, experiments.ScenarioBenchOptions{
+		sopts := experiments.ScenarioBenchOptions{
 			Scenarios:       splitList(r.benchScen),
 			DiskBytesPerSec: r.benchDisk,
-		})
+		}
+		// The preflight refuses a stale committed baseline before any
+		// benchmark time is spent: with -gate it runs ahead of the sweep,
+		// with -gate-preflight it is the whole (fail-fast CI) step.
+		if r.gate || r.gatePre {
+			want := experiments.ExpectedBenchConfig(r.scale, r.seed, sopts)
+			if err := experiments.PreflightBaseline(r.benchBase, want); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("gate preflight passed: %s is comparable with this sweep config\n", r.benchBase)
+			if r.gatePre {
+				r.ran++
+				return
+			}
+		}
+		rep, err := experiments.RunScenarioBench(r.scale, r.seed, sopts)
 		if err != nil {
 			fatalf("scenariobench: %v", err)
 		}
 		r.emitTable("Scenario bench: workload × method × shards (apply / checkpoint / recovery / failover)",
 			rep.Table())
+		// The report is written before any verdict: a corrupt or regressed
+		// run still leaves the artifact on disk for CI to archive, which is
+		// exactly when the numbers are needed.
+		if err := rep.WriteJSON(r.benchOut); err != nil {
+			fatalf("scenariobench: %v", err)
+		}
+		fmt.Printf("(report written to %s)\n", r.benchOut)
 		// Byte identity is unconditional: whatever the timings, a recovery
 		// path that reconstructs different bytes is corrupt.
 		for _, c := range rep.Cells {
@@ -657,10 +697,6 @@ func (r *runner) scenariobench() {
 			}
 		}
 		fmt.Printf("crash equivalence: all %d cells byte-identical to the serial reference\n", len(rep.Cells))
-		if err := rep.WriteJSON(r.benchOut); err != nil {
-			fatalf("scenariobench: %v", err)
-		}
-		fmt.Printf("(report written to %s)\n", r.benchOut)
 		if r.writeBase {
 			if err := rep.WriteJSON(r.benchBase); err != nil {
 				fatalf("scenariobench: %v", err)

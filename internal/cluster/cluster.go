@@ -127,6 +127,11 @@ type Cluster struct {
 	migErr error // sticky: why the last migration aborted
 	closed bool
 
+	// barrierWait accumulates the coordinator's blocked time at tick and
+	// action barriers: the serialization the lock-step discipline imposes,
+	// measured so the skew cluster has an honest comparison quantity.
+	barrierWait time.Duration
+
 	// wedged is set by the first barrier timeout; drained is closed when the
 	// timed-out barrier's stragglers eventually finish (Close waits briefly
 	// for it before tearing engines down under a straggler).
@@ -383,14 +388,25 @@ func (c *Cluster) Tick(batch []wal.Update) error {
 // their engines, so the only safe continuations are the typed error and a
 // Close that grants them a grace period.
 func (c *Cluster) awaitBarrier(op string, tick uint64, wg *sync.WaitGroup, reached func(i int) bool) error {
+	t0 := time.Now()
+	// Checkpoint joins are deliberately excluded from the barrier-wait
+	// accumulator: it measures the per-tick serialization cost (what the
+	// bounded-skew discipline removes), not the cost of a coordinated cut.
+	record := func() {
+		if op != "checkpoint" {
+			c.barrierWait += time.Since(t0)
+		}
+	}
 	if c.opts.BarrierTimeout <= 0 {
 		wg.Wait()
+		record()
 		return nil
 	}
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		record()
 		return nil
 	case <-time.After(c.opts.BarrierTimeout):
 		var waiting []int
@@ -405,6 +421,12 @@ func (c *Cluster) awaitBarrier(op string, tick uint64, wg *sync.WaitGroup, reach
 		return err
 	}
 }
+
+// BarrierWait returns the cumulative wall time the coordinator has spent
+// blocked at tick and action barriers — the lock-step serialization cost.
+// Checkpoint joins are excluded. The clusterbench coordination axis reports
+// it per tick next to the skew cluster's window-wait analogue.
+func (c *Cluster) BarrierWait() time.Duration { return c.barrierWait }
 
 // TickActions applies one world tick of opaque action payloads, one per
 // node (a nil entry means that node ticks with an empty update batch, so

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -33,16 +34,44 @@ type WorldCheckpoint struct {
 	Images  []ImageID `json:"images"`
 }
 
+// NodeCut records one node's newest *uncoordinated* checkpoint. Unlike a
+// WorldCheckpoint's images, which all share one CutTick, each node's AsOfTick
+// advances on its own schedule under the bounded-skew discipline; recovery
+// reconciles the staggered cuts against the logged-message store
+// (internal/skew) rather than trusting them to line up.
+type NodeCut struct {
+	Node     int    `json:"node"`
+	Epoch    uint64 `json:"epoch"`
+	AsOfTick uint64 `json:"as_of_tick"`
+}
+
+// CoordinationSkew marks a manifest written by the bounded-skew cluster
+// (internal/skew). An empty Coordination means the lock-step barrier cluster.
+const CoordinationSkew = "skew"
+
+// ErrSkewManifest is returned by Recover when the manifest under root was
+// written by the bounded-skew cluster: its nodes legitimately crash at
+// different ticks, so the barrier cluster's torn-world refusal would misfire.
+// Recover such a world with skew.Recover, which reconstructs the cut.
+var ErrSkewManifest = errors.New("cluster: manifest was written by the bounded-skew cluster; use skew.Recover")
+
 // Manifest is the durable cluster metadata: the world geometry, the current
 // partition map (and the tick it took effect), and the newest coordinated
 // checkpoint. It is rewritten atomically at creation, at every migration
 // cutover, and at every world checkpoint — the three events that change
-// what recovery needs to know.
+// what recovery needs to know. Under the bounded-skew discipline the
+// coordinated Checkpoint is replaced by per-node cuts: Coordination is
+// CoordinationSkew, MaxSkew records the window, and NodeCuts the staggered
+// per-node checkpoints.
 type Manifest struct {
 	Table       gamestate.Table  `json:"table"`
 	Map         PartitionMap     `json:"map"`
 	MapFromTick uint64           `json:"map_from_tick"`
 	Checkpoint  *WorldCheckpoint `json:"checkpoint,omitempty"`
+
+	Coordination string    `json:"coordination,omitempty"`
+	MaxSkew      int       `json:"max_skew,omitempty"`
+	NodeCuts     []NodeCut `json:"node_cuts,omitempty"`
 }
 
 // manifest assembles the current manifest value.
@@ -171,6 +200,9 @@ func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
 	man, err := ReadManifest(root)
 	if err != nil {
 		return nil, nil, err
+	}
+	if man.Coordination == CoordinationSkew {
+		return nil, nil, ErrSkewManifest
 	}
 	if opts.Table != (gamestate.Table{}) && opts.Table != man.Table {
 		return nil, nil, fmt.Errorf("cluster: recover geometry %v does not match manifest %v", opts.Table, man.Table)

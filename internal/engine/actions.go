@@ -22,6 +22,7 @@ const (
 	recUpdates byte = 0 // payload: wal.EncodeUpdates batch
 	recAction  byte = 1 // payload: opaque application bytes
 	recInstall byte = 2 // payload: u64 lo, u64 hi, raw object bytes (range.go)
+	recMessage byte = 3 // payload: wal.EncodeMessage cross-partition batch (envelope.go)
 )
 
 // TickWriter applies a tick's effects to the store through the
@@ -177,6 +178,23 @@ func (e *Engine) replayRecordRange(lo, hi int, tick uint64, body []byte, updBuf 
 		return w.applied, nil
 	case recInstall:
 		return e.replayInstall(payload, lo, hi)
+	case recMessage:
+		// A cross-partition message applies like an update batch; the origin
+		// header is provenance for the skew tier's recovery, not replay input.
+		_, _, upds, err := wal.DecodeMessage((*updBuf)[:0], payload)
+		*updBuf = upds
+		if err != nil {
+			return 0, err
+		}
+		var n int64
+		for _, u := range upds {
+			if obj := int(e.store.ObjectOf(u.Cell)); obj < lo || obj >= hi {
+				continue
+			}
+			e.store.SetCell(u.Cell, u.Value)
+			n++
+		}
+		return n, nil
 	default:
 		return 0, fmt.Errorf("engine: unknown log record kind %d at tick %d", kind, tick)
 	}

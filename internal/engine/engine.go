@@ -118,7 +118,7 @@ type Engine struct {
 // ΔTrecovery = ΔTrestore + ΔTreplay sum; RecoverFrom is the sharded
 // pipelined alternative.
 func Open(opts Options) (*Engine, error) {
-	e, _, err := open(opts, false, nil)
+	e, _, err := open(opts, false, nil, nil)
 	return e, err
 }
 
@@ -137,10 +137,10 @@ func Open(opts Options) (*Engine, error) {
 // gated on TickWriter.Owns); an action whose writes depend on reads from
 // other shards needs the serial path.
 func RecoverFrom(opts Options) (*Engine, recovery.ParallelResult, error) {
-	return open(opts, true, nil)
+	return open(opts, true, nil, nil)
 }
 
-func open(opts Options, parallel bool, peer *RecoverSource) (*Engine, recovery.ParallelResult, error) {
+func open(opts Options, parallel bool, peer *RecoverSource, tail func() (recovery.RecordSource, error)) (*Engine, recovery.ParallelResult, error) {
 	if err := opts.Table.Validate(); err != nil {
 		return nil, recovery.ParallelResult{}, err
 	}
@@ -247,6 +247,13 @@ func open(opts Options, parallel bool, peer *RecoverSource) (*Engine, recovery.P
 					return nil, pres, err
 				}
 			}
+			if tail != nil {
+				popts.Tail, err = tail()
+				if err != nil {
+					log.Close()
+					return nil, pres, err
+				}
+			}
 			pres, err = recovery.RecoverParallel(popts)
 			res = pres.Result
 		} else {
@@ -267,6 +274,58 @@ func open(opts Options, parallel bool, peer *RecoverSource) (*Engine, recovery.P
 		if err != nil {
 			log.Close()
 			return nil, pres, err
+		}
+		if tail != nil {
+			// Heal the local log with the tail records it was missing, so the
+			// directory recovers to the same tick on its own next time. The
+			// skip rules mirror the pipeline's: whole ticks the log already
+			// ran, plus the first LastTickRecords records of a torn final
+			// tick (the tail stream carries each tick's records in log
+			// order, so the torn tick is completed record-by-record).
+			src, terr := tail()
+			if terr != nil {
+				log.Close()
+				return nil, pres, terr
+			}
+			floor := uint64(0)
+			if res.Restored {
+				floor = res.AsOfTick + 1
+			}
+			skip := pres.LastTickRecords
+			healed := false
+			for {
+				tick, payload, ok, terr := src.Next()
+				if terr != nil {
+					log.Close()
+					return nil, pres, fmt.Errorf("engine: log heal: %w", terr)
+				}
+				if !ok {
+					break
+				}
+				if tick < floor {
+					continue
+				}
+				if pres.SawLogTick {
+					if tick < pres.LastLogTick {
+						continue
+					}
+					if tick == pres.LastLogTick && skip > 0 {
+						skip--
+						continue
+					}
+				}
+				if terr := log.Append(tick, payload); terr != nil {
+					log.Close()
+					return nil, pres, fmt.Errorf("engine: log heal: %w", terr)
+				}
+				healed = true
+			}
+			if healed {
+				if terr := log.Sync(); terr != nil {
+					log.Close()
+					return nil, pres, fmt.Errorf("engine: log heal: %w", terr)
+				}
+			}
 		}
 		next := uint64(0)
 		if res.Restored {

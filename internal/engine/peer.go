@@ -51,7 +51,7 @@ func RecoverFromPeer(opts Options, src RecoverSource) (*Engine, recovery.Paralle
 	if opts.Mode == ModeNone {
 		return nil, zero, errors.New("engine: peer-RAM recovery needs a checkpointing mode (ModeNone cannot persist the restored state)")
 	}
-	e, pres, err := open(opts, true, &src)
+	e, pres, err := open(opts, true, &src, nil)
 	if err != nil {
 		return nil, pres, err
 	}

@@ -70,6 +70,24 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 	return &r, nil
 }
 
+// PreflightBaseline checks that the committed baseline at path is
+// comparable with the config the sweep is about to run — same schema, same
+// BenchConfig stamp — before any benchmark time is spent. A mismatch is the
+// error CompareBench would raise anyway, surfaced in milliseconds instead
+// of after the full sweep, with the regeneration command in the message.
+func PreflightBaseline(path string, want BenchConfig) error {
+	base, err := ReadBenchReport(path)
+	if err != nil {
+		return fmt.Errorf("benchgate preflight: %w (regenerate with: go run ./cmd/experiments -exp scenariobench -scale %s -write-baseline)",
+			err, want.Scale)
+	}
+	if !reflect.DeepEqual(base.Config, want) {
+		return fmt.Errorf("benchgate preflight: %s config %+v does not match the sweep config %+v; regenerate it with: go run ./cmd/experiments -exp scenariobench -scale %s -write-baseline",
+			path, base.Config, want, want.Scale)
+	}
+	return nil
+}
+
 // benchKey identifies a cell across reports.
 type benchKey struct {
 	Scenario string

@@ -200,6 +200,37 @@ func scenarioBenchDefaults(s Scale, opts ScenarioBenchOptions) ScenarioBenchOpti
 	return opts
 }
 
+// benchConfig assembles the comparability stamp a sweep with these
+// (already-defaulted) options writes into its report.
+func benchConfig(s Scale, seed int64, opts ScenarioBenchOptions, methods []string) BenchConfig {
+	return BenchConfig{
+		Scale:           s.String(),
+		Seed:            seed,
+		UpdatesPerTick:  opts.UpdatesPerTick,
+		Skew:            DefaultSkew,
+		WarmTicks:       opts.WarmTicks,
+		LiveTicks:       opts.LiveTicks,
+		LagBudget:       opts.LagBudget,
+		Scenarios:       opts.Scenarios,
+		Methods:         methods,
+		ShardCounts:     opts.ShardCounts,
+		DiskBytesPerSec: opts.DiskBytesPerSec,
+	}
+}
+
+// ExpectedBenchConfig returns the BenchConfig a RunScenarioBench sweep with
+// these options would stamp into its report, without running anything — the
+// perf gate's preflight uses it to refuse a stale committed baseline before
+// paying for the sweep.
+func ExpectedBenchConfig(s Scale, seed int64, opts ScenarioBenchOptions) BenchConfig {
+	opts = scenarioBenchDefaults(s, opts)
+	methods := make([]string, len(opts.Methods))
+	for i, m := range opts.Methods {
+		methods[i] = m.String()
+	}
+	return benchConfig(s, seed, opts, methods)
+}
+
 // RunScenarioBench runs the scenario × method × shard-count sweep and
 // returns the report.
 func RunScenarioBench(s Scale, seed int64, opts ScenarioBenchOptions) (*BenchReport, error) {
@@ -213,20 +244,8 @@ func RunScenarioBench(s Scale, seed int64, opts ScenarioBenchOptions) (*BenchRep
 		methods[i] = m.String()
 	}
 	rep := &BenchReport{
-		Schema: benchSchema,
-		Config: BenchConfig{
-			Scale:           s.String(),
-			Seed:            seed,
-			UpdatesPerTick:  opts.UpdatesPerTick,
-			Skew:            DefaultSkew,
-			WarmTicks:       opts.WarmTicks,
-			LiveTicks:       opts.LiveTicks,
-			LagBudget:       opts.LagBudget,
-			Scenarios:       opts.Scenarios,
-			Methods:         methods,
-			ShardCounts:     opts.ShardCounts,
-			DiskBytesPerSec: opts.DiskBytesPerSec,
-		},
+		Schema:     benchSchema,
+		Config:     benchConfig(s, seed, opts, methods),
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}

@@ -76,6 +76,17 @@ type ParallelOptions struct {
 	// Prelude, when non-nil, replays before the local log and supersedes the
 	// overlapping local span (see RecordSource). Requires Log.
 	Prelude RecordSource
+	// Tail, when non-nil, replays after the local log through the same gated
+	// per-shard workers: its records extend the durable history past the
+	// point where the local log ends (the skew tier's roll-forward past a
+	// node's crash point, fed from the cluster's logged-message store).
+	// Records the local log already holds are skipped — whole ticks below
+	// the log's last tick, and the first LastTickRecords records at the last
+	// tick itself, so a final tick the crash tore mid-append is completed
+	// record-by-record. That skip contract requires the tail stream to carry
+	// each tick's records in exactly the order the local log does (true when
+	// both were written from the same dispatch sequence). Requires Log.
+	Tail RecordSource
 }
 
 // ShardTiming is one shard's stage breakdown.
@@ -195,6 +206,9 @@ func RecoverParallel(opts ParallelOptions) (ParallelResult, error) {
 	}
 	if opts.Prelude != nil && opts.Log == nil {
 		return res, fmt.Errorf("recovery: Prelude set without Log")
+	}
+	if opts.Tail != nil && opts.Log == nil {
+		return res, fmt.Errorf("recovery: Tail set without Log")
 	}
 
 	var src *disk.Backup
@@ -394,6 +408,36 @@ func RecoverParallel(opts ParallelOptions) (ParallelResult, error) {
 					fan(tick, payload)
 				}
 				r.Close() //nolint:errcheck // read-only handles
+			}
+		}
+		// Tail last: it extends history past the local log, skipping the span
+		// the log is authoritative for (whole ticks below its last tick, and
+		// the records of the last tick itself that the log holds — a torn
+		// final tick resumes mid-tick at the first missing record).
+		if readerErr == nil && opts.Tail != nil {
+			skip := res.LastTickRecords
+			for {
+				tick, payload, ok, err := opts.Tail.Next()
+				if err != nil {
+					readerErr = fmt.Errorf("recovery: tail: %w", err)
+					break
+				}
+				if !ok {
+					break
+				}
+				if tick < from {
+					continue // covered by the image
+				}
+				if res.SawLogTick {
+					if tick < res.LastLogTick {
+						continue
+					}
+					if tick == res.LastLogTick && skip > 0 {
+						skip--
+						continue
+					}
+				}
+				fan(tick, payload)
 			}
 		}
 		for s := range feeds {

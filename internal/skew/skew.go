@@ -1,0 +1,673 @@
+// Package skew replaces the cluster's lock-step tick barrier with
+// bounded-skew ticking: each node runs ahead of the slowest node by up to
+// Options.MaxSkew ticks, so one slow partition no longer gates every tick of
+// every other partition — the paper's own Section 8 worry about multi-server
+// throughput, and the coordinated-vs-uncoordinated checkpoint trade-off
+// surveyed by Tuli & Kumar.
+//
+// Three mechanisms replace the three jobs the barrier did:
+//
+//   - Tick dispatch. The coordinator may dispatch tick D as soon as every
+//     node has applied tick D-1-MaxSkew (with MaxSkew 0 this degrades to the
+//     exact barrier). Each node applies its dispatched ticks in order on its
+//     own worker, so per-node history is identical to the barrier world's —
+//     nodes just traverse it at independent rates.
+//
+//   - Cross-partition actions become messages (message logging). A node
+//     applying its tick T may emit updates for objects it does not own
+//     (Options.Emit); they are delivered to the owners at tick T+MaxSkew+1 —
+//     beyond the skew window, so no destination can have passed that tick —
+//     and logged with their origin (node, tick) both in the destination's
+//     inbox store and, as a typed recMessage record, in the destination's
+//     own WAL when applied.
+//
+//   - The coordinated cut is replaced by per-node checkpoints plus the
+//     logged-message store. Every dispatched envelope is appended to the
+//     destination's durable inbox log *before* any node sees the tick, so
+//     after a crash the inboxes bound what any node can have applied.
+//     Recover reconstructs the consistent cut C = the highest tick present
+//     in every inbox, recovers each node from its own (staggered) checkpoint
+//     and WAL, rolls laggards forward by replaying their logged inbound
+//     envelopes up to C, and regenerates the messages still in flight at the
+//     crash. A world recovered at cut C is byte-identical to the barrier
+//     world run to C.
+//
+// The bounded window is also why the classic uncoordinated-checkpoint domino
+// effect cannot occur here: a node never needs to roll *back* to find a
+// consistent state, because every tick at or below C is fully determined by
+// the inbox logs — recovery only ever rolls forward.
+package skew
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/disk"
+	"repro/internal/engine"
+	"repro/internal/gamestate"
+	"repro/internal/wal"
+)
+
+// EmitFunc produces the cross-partition updates node emits while applying
+// tick. It must be a pure function of (node, tick) — like the workload
+// scenarios it must not read mutable engine state — because recovery re-runs
+// it to regenerate the messages that were still inside the delivery window
+// when the world crashed. Updates it returns may target any owner (including
+// the emitting node); each is delivered at tick+MaxSkew+1.
+type EmitFunc func(node int, tick uint64) []wal.Update
+
+// Options configures a bounded-skew cluster.
+type Options struct {
+	// Table is the world geometry every node shares.
+	Table gamestate.Table
+	// Dir is the cluster root: node i lives in Dir/node-i (engine state plus
+	// an inbox/ logged-message store), the manifest in Dir/cluster.json.
+	Dir string
+	// Mode is every node's checkpoint method.
+	Mode engine.Mode
+	// Nodes is the requested node count, folded exactly like the barrier
+	// cluster's (power-of-two spans; the effective count is len(Nodes())).
+	Nodes int
+	// Shards is each node's engine shard count (default 1).
+	Shards int
+	// MaxSkew is the window W: the fastest node may run ahead of the slowest
+	// by at most W ticks. 0 reproduces the lock-step barrier exactly.
+	MaxSkew int
+	// DiskBytesPerSec throttles each node's backup devices.
+	DiskBytesPerSec float64
+	// SyncEveryTick fsyncs each node's engine WAL at every tick and each
+	// inbox before its tick is dispatched. With it, the inbox-bounds-the-
+	// world invariant recovery relies on holds across hard kills; without
+	// it, only across clean crashes (Crash/Close), and a hard kill that
+	// loses an inbox tail surfaces as a typed *TornError refusal.
+	SyncEveryTick bool
+	// CheckpointEvery, when > 0, schedules uncoordinated per-node
+	// checkpoints from the node workers: node i cuts after applying tick T
+	// when (T+1+offset_i) is a multiple of CheckpointEvery, with offsets
+	// staggered across nodes so cuts never line up. The cut stalls only its
+	// own node; the window absorbs the stall instead of charging it to
+	// every partition the way a coordinated cut does.
+	CheckpointEvery int
+	// Emit, when non-nil, is the cross-partition action source (see
+	// EmitFunc). Recover needs the same function to regenerate in-flight
+	// messages.
+	Emit EmitFunc
+	// BeforeApply, when non-nil, runs on the node's worker immediately
+	// before each tick applies — the test hook straggler injection uses.
+	BeforeApply func(node int, tick uint64)
+	// DeviceFactory overrides how node engines open backup devices (fault
+	// injection).
+	DeviceFactory func(path string) (disk.Device, error)
+}
+
+// Node is one skew-cluster member: a full engine, its place in the world,
+// and its durable inbox (the logged-message store).
+type Node struct {
+	Index int
+	Dir   string
+	E     *engine.Engine
+
+	inbox *wal.Log
+}
+
+// workItem is one dispatched tick on its way to a node worker.
+type workItem struct {
+	tick uint64
+	envs []engine.Envelope
+}
+
+// inboxMaint is one node's deferred inbox maintenance after a worker-side
+// cut: rotate at the next dispatch boundary, prune below keepFrom.
+type inboxMaint struct {
+	node     int
+	keepFrom uint64
+}
+
+// pendingMsg is an emitted cross-partition message waiting for its delivery
+// tick.
+type pendingMsg struct {
+	origin     int
+	originTick uint64
+	dest       int
+	updates    []wal.Update
+}
+
+// Cluster is a bounded-skew multi-node world. One coordinating goroutine
+// calls Tick; each node applies on its own worker, up to MaxSkew ticks
+// behind the newest dispatch. Unlike the barrier cluster, Tick returns as
+// soon as the tick is durably logged to every inbox and handed to the
+// workers — it blocks only when the skew window is exhausted.
+type Cluster struct {
+	opts  Options
+	table gamestate.Table
+	nodes []*Node
+	m     cluster.PartitionMap
+
+	cellsPerObj uint32
+	tick        uint64 // next tick to dispatch (coordinator-owned)
+	window      uint64 // MaxSkew as uint64
+	encBuf      []byte
+	closed      bool
+
+	work []chan workItem
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	applied []uint64 // applied[i] = ticks node i has applied (its next tick)
+	errs    []error
+	pending map[uint64][]pendingMsg // delivery tick -> messages
+	crashed bool
+
+	manMu  sync.Mutex
+	cuts   []cluster.NodeCut
+	hasCut []bool
+
+	// maint queues inbox rotate+prune work from worker-side cuts for the
+	// coordinator. Only the coordinator appends to the inboxes, so only it
+	// can rotate them at an exact tick boundary — a worker rotating
+	// concurrently with appends would let a just-appended tick slip into the
+	// sealed segment that prune's name-based rule then deletes (protected by
+	// mu).
+	maint       []inboxMaint
+	lastRotate  []uint64
+	everRotated []bool
+
+	// windowWait accumulates the coordinator's blocked time: window waits in
+	// Tick plus drain waits in Join — the skew analogue of the barrier
+	// cluster's BarrierWait.
+	windowWait time.Duration
+}
+
+// New creates a fresh bounded-skew cluster: N empty node directories with
+// engine state and inbox store under opts.Dir, a uniform partition map, and
+// the skew manifest.
+func New(opts Options) (*Cluster, error) {
+	if err := opts.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Dir == "" {
+		return nil, errors.New("skew: Dir required")
+	}
+	if opts.MaxSkew < 0 {
+		return nil, errors.New("skew: MaxSkew must be >= 0")
+	}
+	m := cluster.Uniform(opts.Table.NumObjects(), opts.Nodes)
+	c, err := build(opts, m, 0, nil, func(i int, dir string) (*engine.Engine, error) {
+		return engine.Open(nodeEngineOptions(opts, dir))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.writeManifest(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// nodeEngineOptions is the per-node engine configuration.
+func nodeEngineOptions(opts Options, dir string) engine.Options {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	return engine.Options{
+		Table: opts.Table, Dir: dir, Mode: opts.Mode, Shards: shards,
+		DiskBytesPerSec: opts.DiskBytesPerSec, SyncEveryTick: opts.SyncEveryTick,
+		DeviceFactory: opts.DeviceFactory,
+	}
+}
+
+// inboxDir returns node i's inbox store directory under a cluster root.
+func inboxDir(root string, i int) string {
+	return filepath.Join(cluster.NodeDir(root, i), "inbox")
+}
+
+// build assembles a Cluster around an open function, one node per
+// partition-map member, starting the per-node apply workers.
+func build(opts Options, m cluster.PartitionMap, tick uint64, cuts []cluster.NodeCut,
+	open func(i int, dir string) (*engine.Engine, error)) (*Cluster, error) {
+	c := &Cluster{
+		opts:        opts,
+		table:       opts.Table,
+		m:           m,
+		cellsPerObj: uint32(opts.Table.CellsPerObject()),
+		tick:        tick,
+		window:      uint64(opts.MaxSkew),
+		work:        make([]chan workItem, m.NumNodes),
+		applied:     make([]uint64, m.NumNodes),
+		errs:        make([]error, m.NumNodes),
+		pending:     make(map[uint64][]pendingMsg),
+		cuts:        make([]cluster.NodeCut, m.NumNodes),
+		hasCut:      make([]bool, m.NumNodes),
+		lastRotate:  make([]uint64, m.NumNodes),
+		everRotated: make([]bool, m.NumNodes),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, cut := range cuts {
+		if cut.Node >= 0 && cut.Node < m.NumNodes {
+			c.cuts[cut.Node] = cut
+			c.hasCut[cut.Node] = true
+		}
+	}
+	for i := 0; i < m.NumNodes; i++ {
+		dir := cluster.NodeDir(opts.Dir, i)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("skew: %w", err)
+		}
+		e, err := open(i, dir)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("skew: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, &Node{Index: i, Dir: dir, E: e})
+		inbox, err := wal.Open(inboxDir(opts.Dir, i))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("skew: node %d inbox: %w", i, err)
+		}
+		c.nodes[i].inbox = inbox
+		c.applied[i] = tick
+	}
+	for i := range c.work {
+		// Capacity MaxSkew+1: after the window wait admits dispatch of tick
+		// D, a node can have at most MaxSkew dispatched-but-unapplied ticks
+		// queued, so the send below never blocks the coordinator.
+		ch := make(chan workItem, opts.MaxSkew+1)
+		c.work[i] = ch
+		c.wg.Add(1)
+		go c.worker(i, ch)
+	}
+	return c, nil
+}
+
+// worker is node i's apply loop: ticks apply strictly in dispatch order, and
+// each completion is published under the mutex so the coordinator's window
+// wait can make progress.
+func (c *Cluster) worker(i int, ch <-chan workItem) {
+	defer c.wg.Done()
+	n := c.nodes[i]
+	for item := range ch {
+		c.mu.Lock()
+		dead := c.crashed || c.errs[i] != nil
+		c.mu.Unlock()
+		if dead {
+			continue // drain: a crashed or failed node drops its queue
+		}
+		if c.opts.BeforeApply != nil {
+			c.opts.BeforeApply(i, item.tick)
+		}
+		err := n.E.ApplyTickEnvelopes(item.envs)
+		if err == nil && c.opts.Emit != nil {
+			err = c.emit(i, item.tick)
+		}
+		if err == nil && c.cutDue(i, item.tick) {
+			err = c.cutWorker(i, item.tick)
+		}
+		c.mu.Lock()
+		if err != nil {
+			c.errs[i] = fmt.Errorf("skew: node %d tick %d: %w", i, item.tick, err)
+		} else {
+			c.applied[i] = item.tick + 1
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// emit runs the action source for (node, tick), routes the emitted updates
+// by ownership, and queues each destination's batch for delivery at
+// tick+MaxSkew+1 — the first tick the window guarantees no node has passed.
+func (c *Cluster) emit(node int, tick uint64) error {
+	out := c.opts.Emit(node, tick)
+	if len(out) == 0 {
+		return nil
+	}
+	deliver := tick + c.window + 1
+	perDest := make(map[int][]wal.Update)
+	for _, u := range out {
+		dest := c.m.Owner(int(u.Cell / c.cellsPerObj))
+		perDest[dest] = append(perDest[dest], u)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for dest := 0; dest < len(c.nodes); dest++ {
+		if upds, ok := perDest[dest]; ok {
+			c.pending[deliver] = append(c.pending[deliver],
+				pendingMsg{origin: node, originTick: tick, dest: dest, updates: upds})
+		}
+	}
+	return nil
+}
+
+// cutDue reports whether node i's uncoordinated checkpoint schedule fires
+// after applying tick: every CheckpointEvery ticks, offset per node so no
+// two nodes cut at the same tick (uncoordinated by construction).
+func (c *Cluster) cutDue(i int, tick uint64) bool {
+	every := c.opts.CheckpointEvery
+	if every <= 0 {
+		return false
+	}
+	offset := uint64(i) * uint64(every) / uint64(len(c.nodes)) % uint64(every)
+	return (tick+1+offset)%uint64(every) == 0
+}
+
+// checkpointNode checkpoints node i as of asof and records the cut in the
+// manifest. The caller must be the engine's mutator at that moment: the
+// node's own worker (the scheduled path) or the coordinator with the workers
+// drained (CheckpointNodes).
+func (c *Cluster) checkpointNode(i int, asof uint64) (engine.CheckpointInfo, error) {
+	info, err := c.nodes[i].E.CheckpointAsOf(asof)
+	if err != nil {
+		return info, err
+	}
+	c.manMu.Lock()
+	c.cuts[i] = cluster.NodeCut{Node: i, Epoch: info.Epoch, AsOfTick: info.AsOfTick}
+	c.hasCut[i] = true
+	err = c.writeManifest()
+	c.manMu.Unlock()
+	return info, err
+}
+
+// cutWorker is the worker-side scheduled cut: checkpoint now, and leave the
+// inbox rotate+prune to the coordinator's next dispatch — rotating here
+// would race the coordinator's appends across the segment boundary.
+func (c *Cluster) cutWorker(i int, asof uint64) error {
+	info, err := c.checkpointNode(i, asof)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.maint = append(c.maint, inboxMaint{node: i, keepFrom: info.AsOfTick + 1})
+	c.mu.Unlock()
+	return nil
+}
+
+// inboxMaintain rotates node i's inbox at the tick boundary next (nothing at
+// or past next has been appended yet) and prunes sealed segments the node's
+// checkpoint image covers. Roll-forward never replays ticks the image holds,
+// so dropping them keeps the inbox scan — and recovery — short. Caller is
+// the coordinator, the inbox's only appender.
+func (c *Cluster) inboxMaintain(i int, next, keepFrom uint64) error {
+	inbox := c.nodes[i].inbox
+	if !c.everRotated[i] || c.lastRotate[i] != next {
+		if err := inbox.Rotate(next); err != nil {
+			return err
+		}
+		c.lastRotate[i] = next
+		c.everRotated[i] = true
+	}
+	return inbox.Prune(keepFrom)
+}
+
+// writeManifest persists the skew manifest (atomic rename). Callers
+// serialize via manMu or single-threaded construction.
+func (c *Cluster) writeManifest() error {
+	man := &cluster.Manifest{
+		Table:        c.table,
+		Map:          c.m,
+		Coordination: cluster.CoordinationSkew,
+		MaxSkew:      c.opts.MaxSkew,
+	}
+	for i, cut := range c.cuts {
+		if c.hasCut[i] {
+			man.NodeCuts = append(man.NodeCuts, cut)
+		}
+	}
+	return cluster.WriteManifest(c.opts.Dir, man)
+}
+
+// firstErrLocked returns the first failed node's error; callers hold mu.
+func (c *Cluster) firstErrLocked() error {
+	for _, err := range c.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitApplied blocks until every node has applied at least min ticks (or a
+// node fails), accumulating the blocked time into the window-wait metric.
+func (c *Cluster) waitApplied(min uint64) error {
+	t0 := time.Now()
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+		c.windowWait += time.Since(t0)
+	}()
+	for {
+		if err := c.firstErrLocked(); err != nil {
+			return err
+		}
+		slowest := c.applied[0]
+		for _, a := range c.applied[1:] {
+			if a < slowest {
+				slowest = a
+			}
+		}
+		if slowest >= min {
+			return nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// Tick dispatches one world tick: wait for the skew window to admit it,
+// merge in the cross-partition messages due this tick, route the batch by
+// ownership, log every envelope to its destination's inbox, and hand the
+// tick to the node workers. The inbox appends of *all* nodes complete before
+// *any* node sees the tick — the invariant recovery's cut reconstruction
+// rests on. With MaxSkew 0 the window wait is the exact tick barrier.
+func (c *Cluster) Tick(batch []wal.Update) error {
+	if c.closed {
+		return errors.New("skew: closed")
+	}
+	d := c.tick
+	// Window: dispatching D requires every node past D-1-MaxSkew.
+	if d > c.window {
+		if err := c.waitApplied(d - c.window); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	due := c.pending[d]
+	delete(c.pending, d)
+	maint := c.maint
+	c.maint = nil
+	c.mu.Unlock()
+	// Deferred inbox maintenance from worker-side cuts: this is the tick
+	// boundary — nothing at or past d is appended yet, so the sealed
+	// segments hold exactly the ticks below d and name-based pruning is
+	// sound.
+	for _, mt := range maint {
+		if err := c.inboxMaintain(mt.node, d, mt.keepFrom); err != nil {
+			return fmt.Errorf("skew: node %d inbox maintenance: %w", mt.node, err)
+		}
+	}
+	// Workers queue their emissions concurrently, so pending order is
+	// scheduling-dependent; delivery order must not be. All messages due at
+	// one tick share an origin tick (d-MaxSkew-1), so origin order is total,
+	// and it is the order recovery's regeneration reproduces.
+	sort.Slice(due, func(a, b int) bool {
+		if due[a].originTick != due[b].originTick {
+			return due[a].originTick < due[b].originTick
+		}
+		return due[a].origin < due[b].origin
+	})
+
+	// Fresh per-node slices every tick: the workers hold them until the tick
+	// applies, possibly MaxSkew ticks from now.
+	perNode := cluster.RouteTick(c.m, c.cellsPerObj, batch, make([][]wal.Update, len(c.nodes)))
+	envs := make([][]engine.Envelope, len(c.nodes))
+	for i := range c.nodes {
+		envs[i] = append(envs[i], engine.Envelope{Origin: -1, OriginTick: d, Updates: perNode[i]})
+	}
+	for _, msg := range due {
+		envs[msg.dest] = append(envs[msg.dest], engine.Envelope{
+			Origin: int32(msg.origin), OriginTick: msg.originTick, Updates: msg.updates,
+		})
+	}
+	for i, n := range c.nodes {
+		for _, env := range envs[i] {
+			c.encBuf = engine.EncodeEnvelopeRecord(c.encBuf[:0], env)
+			if err := n.inbox.Append(d, c.encBuf); err != nil {
+				return fmt.Errorf("skew: node %d inbox: %w", i, err)
+			}
+		}
+		if c.opts.SyncEveryTick {
+			if err := n.inbox.Sync(); err != nil {
+				return fmt.Errorf("skew: node %d inbox: %w", i, err)
+			}
+		}
+	}
+	for i := range c.nodes {
+		c.work[i] <- workItem{tick: d, envs: envs[i]}
+	}
+	c.tick++
+	return nil
+}
+
+// Join blocks until every dispatched tick has applied on its node — the
+// quiescence point ReadWorld, CheckpointNodes and a graceful Close need.
+// The drain time counts toward WindowWait (it is coordinator blocked time).
+func (c *Cluster) Join() error {
+	return c.waitApplied(c.tick)
+}
+
+// CheckpointNodes takes one round of per-node cuts with the cluster
+// quiesced (it drains first). Each node's image is labeled at its own last
+// applied tick — after a drain those coincide, so for cuts that genuinely
+// sit at different ticks use the worker-side CheckpointEvery schedule, which
+// cuts each node mid-run on its own staggered cadence. Either way the cuts
+// are uncoordinated in the sense that matters: recovery never assumes they
+// line up, it reconciles whatever the manifest records against the inbox
+// logs.
+func (c *Cluster) CheckpointNodes() error {
+	if c.closed {
+		return errors.New("skew: closed")
+	}
+	if err := c.Join(); err != nil {
+		return err
+	}
+	for i := range c.nodes {
+		applied := c.applied[i] // stable: workers are drained
+		if applied == 0 {
+			continue
+		}
+		info, err := c.checkpointNode(i, applied-1)
+		if err != nil {
+			return fmt.Errorf("skew: node %d cut: %w", i, err)
+		}
+		// Drained, so the coordinator is both mutator and sole appender:
+		// inbox maintenance can run inline at the next dispatch tick.
+		if err := c.inboxMaintain(i, c.tick, info.AsOfTick+1); err != nil {
+			return fmt.Errorf("skew: node %d inbox: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Nodes returns the cluster members.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Map returns the partition map.
+func (c *Cluster) Map() cluster.PartitionMap { return c.m }
+
+// Table returns the world geometry.
+func (c *Cluster) Table() gamestate.Table { return c.table }
+
+// NextTick returns the tick the next Tick call will dispatch.
+func (c *Cluster) NextTick() uint64 { return c.tick }
+
+// MaxSkew returns the window the cluster runs with.
+func (c *Cluster) MaxSkew() int { return c.opts.MaxSkew }
+
+// AppliedTick returns the number of ticks node i has applied (its engine's
+// next tick). Safe from any goroutine.
+func (c *Cluster) AppliedTick(i int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied[i]
+}
+
+// WindowWait returns the cumulative wall time the coordinator has spent
+// blocked on node progress: window waits in Tick plus drains in Join. It is
+// the skew analogue of the barrier cluster's BarrierWait — the quantity the
+// bounded window is supposed to drive to ~zero.
+func (c *Cluster) WindowWait() time.Duration { return c.windowWait }
+
+// ReadWorld assembles the world state into dst (StateBytes() long), each
+// node contributing the ranges it owns. Call it quiesced (after Join):
+// mid-flight the partitions are legitimately at different ticks and the
+// merge would be torn.
+func (c *Cluster) ReadWorld(dst []byte) error {
+	want := int(c.table.StateBytes())
+	if len(dst) != want {
+		return fmt.Errorf("skew: world buffer %d bytes, want %d", len(dst), want)
+	}
+	sz := c.table.ObjSize
+	for i, n := range c.nodes {
+		slab := n.E.Store().Slab()
+		for _, r := range c.m.NodeRanges(i) {
+			copy(dst[r.Lo*sz:r.Hi*sz], slab[r.Lo*sz:r.Hi*sz])
+		}
+	}
+	return nil
+}
+
+// Crash simulates a crash: queued-but-unapplied ticks are dropped (each
+// worker abandons its backlog), then logs and engines shut down. The nodes
+// end at genuinely different ticks — the state Recover's cut reconstruction
+// exists for. The inboxes keep every dispatched tick, so recovery rolls the
+// laggards forward to the cut instead of refusing a torn world.
+func (c *Cluster) Crash() error {
+	return c.shutdown(true)
+}
+
+// Close drains every dispatched tick, then shuts the cluster down cleanly.
+func (c *Cluster) Close() error {
+	return c.shutdown(false)
+}
+
+func (c *Cluster) shutdown(crash bool) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	if crash {
+		c.mu.Lock()
+		c.crashed = true
+		c.mu.Unlock()
+	} else if len(c.nodes) == len(c.work) {
+		if err := c.Join(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, ch := range c.work {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	c.wg.Wait()
+	for _, n := range c.nodes {
+		if n.inbox != nil {
+			if err := n.inbox.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if err := n.E.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,40 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cross-partition message payloads. The bounded-skew cluster (internal/skew)
+// lets partitions tick ahead of each other inside a fixed window, so a
+// cross-partition action emitted by node i while applying its tick T cannot
+// be folded into the destination's tick-T input — the destination may already
+// be past T. Instead the action travels as a *message* scheduled for a future
+// tick, and it is logged with its origin pinned on it: (origin node, origin
+// tick, update batch). Recovery uses the origin tick to re-derive which
+// messages were still in flight at the crash; replay treats the batch exactly
+// like a tick's own updates. The encoding lives here, next to the update
+// batch codec it wraps, so the engine's record framing and the skew tier's
+// message store agree on the bytes byte-for-byte.
+
+// EncodeMessage appends the message encoding to buf and returns it: the
+// origin node, the origin tick, then the update batch in EncodeUpdates form.
+func EncodeMessage(buf []byte, origin uint32, originTick uint64, updates []Update) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], origin)
+	binary.LittleEndian.PutUint64(hdr[4:], originTick)
+	buf = append(buf, hdr[:]...)
+	return EncodeUpdates(buf, updates)
+}
+
+// DecodeMessage parses a payload encoded by EncodeMessage, appending the
+// update batch to dst.
+func DecodeMessage(dst []Update, payload []byte) (origin uint32, originTick uint64, updates []Update, err error) {
+	if len(payload) < 12 {
+		return 0, 0, dst, fmt.Errorf("wal: message payload %d bytes, want >= 12", len(payload))
+	}
+	origin = binary.LittleEndian.Uint32(payload[0:])
+	originTick = binary.LittleEndian.Uint64(payload[4:])
+	updates, err = DecodeUpdates(dst, payload[12:])
+	return origin, originTick, updates, err
+}
