@@ -68,6 +68,7 @@ import (
 	"repro/internal/peerram"
 	"repro/internal/replication"
 	"repro/internal/skew"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -95,8 +96,19 @@ func main() {
 		netTO    = flag.Duration("net-timeout", 30*time.Second,
 			"bound on dial/accept and on any single command-stream read; a dead peer "+
 				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
+		telAddr = flag.String("telemetry-addr", "",
+			"serve live telemetry (/metrics, /spans.json, /debug/pprof) on this address; "+
+				"empty keeps collection off with zero overhead")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		ts, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close() //nolint:errcheck // process exit
+		log.Printf("cluster: telemetry on http://%s/metrics", ts.Addr)
+	}
 	table := gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512}
 	switch *role {
 	case "node":

@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/replication"
 	"repro/internal/session"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -67,8 +68,19 @@ func main() {
 		netTO    = flag.Duration("net-timeout", 30*time.Second,
 			"bound on dial and on any single session-stream read; a dead peer "+
 				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
+		telAddr = flag.String("telemetry-addr", "",
+			"serve live telemetry (/metrics, /spans.json, /debug/pprof) on this address; "+
+				"empty keeps collection off with zero overhead")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		ts, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close() //nolint:errcheck // process exit
+		log.Printf("gateway: telemetry on http://%s/metrics", ts.Addr)
+	}
 	table := gamestate.Table{Rows: *rows, Cols: *cols, CellSize: 4, ObjSize: 512}
 	switch *role {
 	case "serve":

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -50,8 +51,19 @@ func main() {
 		netTO   = flag.Duration("net-timeout", 30*time.Second,
 			"bound on dial/accept and on any single stream read; a silently dead peer "+
 				"surfaces a typed timeout error instead of hanging (0 = wait forever)")
+		telAddr = flag.String("telemetry-addr", "",
+			"serve live telemetry (/metrics, /spans.json, /debug/pprof) on this address; "+
+				"empty keeps collection off with zero overhead")
 	)
 	flag.Parse()
+	if *telAddr != "" {
+		ts, err := telemetry.Serve(*telAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ts.Close() //nolint:errcheck // process exit
+		log.Printf("replicate: telemetry on http://%s/metrics", ts.Addr)
+	}
 	if *dir == "" {
 		log.Fatal("replicate: -dir is required")
 	}

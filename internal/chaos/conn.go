@@ -4,6 +4,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ConnFaults selects the network fault shapes a chaos Conn injects on its
@@ -40,6 +42,7 @@ type Conn struct {
 	site   string
 	faults ConnFaults
 	sleep  func(time.Duration)
+	tel    *telemetry.VecCounter
 
 	mu       sync.Mutex
 	rng      *Rand
@@ -60,6 +63,7 @@ func WrapConn(c net.Conn, seed int64, site string, faults ConnFaults) *Conn {
 		site:   site,
 		faults: faults,
 		sleep:  time.Sleep,
+		tel:    telInjected.With(site),
 		rng:    NewRand(seed, site),
 	}
 }
@@ -88,6 +92,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	n := c.writes
 	if c.severed {
 		c.injected++
+		c.tel.Inc()
 		err := &Error{Site: c.site, Op: "sever", N: n}
 		c.mu.Unlock()
 		return 0, err
@@ -108,9 +113,11 @@ func (c *Conn) Write(p []byte) (int, error) {
 	if sever {
 		c.severed = true
 		c.injected++
+		c.tel.Inc()
 		ierr = &Error{Site: c.site, Op: "sever", N: n}
 	} else if drop {
 		c.injected++
+		c.tel.Inc()
 	}
 	if !drop {
 		c.written += cut

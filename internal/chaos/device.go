@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/telemetry"
 )
 
 // DeviceFaults selects which fault shapes a chaos Device injects. Zero
@@ -59,6 +60,7 @@ type Device struct {
 	site   string
 	faults DeviceFaults
 	sleep  func(time.Duration) // injectable for tests; default time.Sleep
+	tel    *telemetry.VecCounter
 
 	mu       sync.Mutex
 	rng      *Rand
@@ -82,6 +84,7 @@ func WrapDevice(dev disk.Device, seed int64, site string, faults DeviceFaults) *
 		site:   site,
 		faults: faults,
 		sleep:  time.Sleep,
+		tel:    telInjected.With(site),
 		rng:    NewRand(seed, site),
 	}
 }
@@ -107,6 +110,7 @@ func (d *Device) Ops() (reads, writes, syncs int64) {
 // err builds the typed fault for the op at index n.
 func (d *Device) err(op string, n int64) error {
 	d.injected++
+	d.tel.Inc()
 	return &Error{Site: d.site, Op: op, N: n}
 }
 

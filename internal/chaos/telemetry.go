@@ -1,0 +1,8 @@
+package chaos
+
+import "repro/internal/telemetry"
+
+// telInjected counts injected faults by schedule site. Each wrapper caches
+// its site's child at wrap time, so the per-op fault path touches one atomic
+// — no label lookup under the device or conn mutex.
+var telInjected = telemetry.NewCounterVec("chaos_injected_faults_total", "site", "Faults injected by the chaos schedule, by site.")

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gamestate"
 	"repro/internal/peerram"
 	"repro/internal/replication"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -394,7 +395,9 @@ func (c *Cluster) awaitBarrier(op string, tick uint64, wg *sync.WaitGroup, reach
 	// bounded-skew discipline removes), not the cost of a coordinated cut.
 	record := func() {
 		if op != "checkpoint" {
-			c.barrierWait += time.Since(t0)
+			d := time.Since(t0)
+			c.barrierWait += d
+			telBarrierWait.ObserveDuration(d)
 		}
 	}
 	if c.opts.BarrierTimeout <= 0 {
@@ -508,6 +511,7 @@ func (c *Cluster) CheckpointWorld() (*Manifest, error) {
 		return nil, errors.New("cluster: no ticks applied")
 	}
 	cut := c.tick - 1
+	ckptStart := time.Now()
 	infos := make([]engine.CheckpointInfo, len(c.nodes))
 	errs := make([]error, len(c.nodes))
 	done := make([]atomic.Bool, len(c.nodes))
@@ -547,6 +551,11 @@ func (c *Cluster) CheckpointWorld() (*Manifest, error) {
 			}
 		}
 	}
+	wall := time.Since(ckptStart)
+	telCkptWall.ObserveDuration(wall)
+	telCkptLast.Set(wall.Nanoseconds())
+	telemetry.RecordSpan("cluster/checkpoint", ckptStart, ckptStart.Add(wall),
+		telemetry.Int("cut_tick", int64(cut)), telemetry.Int("nodes", int64(len(c.nodes))))
 	return c.manifest(wc), nil
 }
 

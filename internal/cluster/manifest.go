@@ -14,6 +14,7 @@ import (
 	"repro/internal/gamestate"
 	"repro/internal/recovery"
 	"repro/internal/replication"
+	"repro/internal/telemetry"
 )
 
 // manifestName is the cluster metadata file under the cluster root.
@@ -154,6 +155,8 @@ func recoverNode(root string, opts Options, i int) (*engine.Engine, recovery.Par
 	mode := opts.RecoveryMode
 
 	if mode == RecoveryAuto || mode == RecoveryPeerRAM {
+		sp := telemetry.StartSpan("recovery/rung",
+			telemetry.Int("node", int64(i)), telemetry.Str("rung", "peerram"))
 		if opts.PeerRAM == nil {
 			note("peerram: no mesh")
 		} else if src, holder, err := opts.PeerRAM.Source(i); err != nil {
@@ -161,10 +164,15 @@ func recoverNode(root string, opts Options, i int) (*engine.Engine, recovery.Par
 		} else if e, pres, err := engine.RecoverFromPeer(eopts, src); err != nil {
 			note("peerram via node %d: %v", holder, err)
 		} else {
+			sp.End(telemetry.Str("outcome", "served"))
 			return e, pres, RecoveryPeerRAM, strings.Join(notes, "; "), nil
 		}
+		sp.End(telemetry.Str("outcome", "fallthrough"))
+		telFallthrough.With("peerram").Inc()
 	}
 	if mode == RecoveryAuto || mode == RecoveryStandby {
+		sp := telemetry.StartSpan("recovery/rung",
+			telemetry.Int("node", int64(i)), telemetry.Str("rung", "standby"))
 		var sb *replication.Standby
 		if i < len(opts.Standbys) {
 			sb = opts.Standbys[i]
@@ -178,10 +186,20 @@ func recoverNode(root string, opts Options, i int) (*engine.Engine, recovery.Par
 			var pres recovery.ParallelResult
 			pres.BackupIndex = -1
 			pres.NextTick = e.NextTick()
+			sp.End(telemetry.Str("outcome", "served"))
 			return e, pres, RecoveryStandby, strings.Join(notes, "; "), nil
 		}
+		sp.End(telemetry.Str("outcome", "fallthrough"))
+		telFallthrough.With("standby").Inc()
 	}
+	sp := telemetry.StartSpan("recovery/rung",
+		telemetry.Int("node", int64(i)), telemetry.Str("rung", "disk"))
 	e, pres, err := engine.RecoverFrom(eopts)
+	if err != nil {
+		sp.End(telemetry.Str("outcome", "failed"))
+	} else {
+		sp.End(telemetry.Str("outcome", "served"))
+	}
 	return e, pres, RecoveryDisk, strings.Join(notes, "; "), err
 }
 
@@ -235,6 +253,15 @@ func Recover(root string, opts Options) (*Cluster, *WorldRecovery, error) {
 	}
 	wg.Wait()
 	wr.Wall = time.Since(start)
+	telWorldWall.ObserveDuration(wr.Wall)
+	telWorldWallLast.Set(wr.Wall.Nanoseconds())
+	for i := range errs {
+		if errs[i] == nil {
+			telServedRung.With(wr.Modes[i].String()).Inc()
+		}
+	}
+	telemetry.RecordSpan("recovery/world", start, start.Add(wr.Wall),
+		telemetry.Int("nodes", int64(n)))
 	closeAll := func() {
 		for _, e := range engines {
 			if e != nil {

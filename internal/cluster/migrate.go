@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/replication"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -181,6 +182,11 @@ func (c *Cluster) FinishMigration() (*MigrationReport, error) {
 	if err := c.writeManifest(nil); err != nil {
 		return nil, err
 	}
+	telMigLiveWindow.Set(int64(cut - m.StartTick))
+	telMigInstall.ObserveDuration(pause)
+	telemetry.RecordSpan("cluster/migration-install", t0, t0.Add(pause),
+		telemetry.Int("from", int64(m.From)), telemetry.Int("to", int64(m.To)),
+		telemetry.Int("cut_tick", int64(cut)))
 	return &MigrationReport{
 		Lo: m.Lo, Hi: m.Hi, From: m.From, To: m.To,
 		StartTick: m.StartTick, CutTick: cut,

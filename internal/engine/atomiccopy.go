@@ -141,6 +141,7 @@ func (c *atomicCP) writer() {
 			if !c.sick.markSick(job.backup) {
 				c.werr.set(err)
 			}
+			telDegraded.Set(1)
 			c.inFlight.Store(false)
 			continue
 		}

@@ -345,6 +345,7 @@ func (c *naiveCP) writer() {
 			if !c.sick.markSick(target) {
 				c.werr.set(err)
 			}
+			telDegraded.Set(1)
 			c.inFlight.Store(false)
 			continue
 		}
@@ -538,6 +539,8 @@ func (c *couCP) onUpdate(obj int32) {
 		copy(c.side[int(obj)*sz:(int(obj)+1)*sz], c.store.ObjectBytes(int(obj)))
 		orUint64(&c.handled[w], m)
 		c.st.Copies.Add(1)
+		telCopies.Inc()
+		telCopyBytes.Add(uint64(sz))
 	}
 	mu.Unlock()
 }
@@ -612,6 +615,7 @@ func (c *couCP) writer() {
 			if !c.sick.markSick(job.backup) {
 				c.werr.set(err)
 			}
+			telDegraded.Set(1)
 			c.inFlight.Store(false)
 			continue
 		}

@@ -155,6 +155,7 @@ func open(opts Options, parallel bool, peer *RecoverSource, tail func() (recover
 		return nil, pres, err
 	}
 	e := &Engine{opts: opts, store: store, plan: makeShardPlan(store.NumObjects(), opts.Shards)}
+	telDegraded.Set(0)
 
 	var devs [2]disk.Device
 	if opts.InMemory {
@@ -487,6 +488,12 @@ func (e *Engine) applyTick(updates []wal.Update, parallel bool) error {
 	e.stats.UpdatesApplied += int64(len(updates))
 	e.stats.ApplyTotal += applyDur
 	e.stats.PauseTotal += pause
+	telTicks.Inc()
+	telUpdates.Add(uint64(len(updates)))
+	telApplyWall.ObserveDuration(applyDur)
+	if pause > 0 {
+		telPause.ObserveDuration(pause)
+	}
 	if e.opts.KeepTickStats {
 		e.stats.TickTimings = append(e.stats.TickTimings,
 			TickTiming{Apply: applyDur, Pause: pause})
@@ -513,6 +520,8 @@ func (e *Engine) drainCompleted() {
 func (e *Engine) recordCheckpoint(info CheckpointInfo) {
 	e.stats.Checkpoints = append(e.stats.Checkpoints, info)
 	e.cpEpoch.Store(info.Epoch)
+	telCheckpoints.Inc()
+	telCkptBytes.Add(uint64(info.Bytes))
 	if e.log != nil {
 		// Records at or before info.AsOfTick are covered by the new
 		// image; keep one prior image's worth for safety, and never prune

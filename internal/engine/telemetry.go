@@ -1,0 +1,20 @@
+package engine
+
+import "repro/internal/telemetry"
+
+// Engine-family runtime metrics (telemetry default registry, process-wide:
+// every engine in the process records into the same instruments; per-engine
+// breakdowns remain available via Stats/CheckpointStats). All recording is
+// gated on telemetry.Enable, so a process that never sets -telemetry-addr
+// pays one branch per site and zero allocations.
+var (
+	telTicks       = telemetry.NewCounter("engine_ticks_total", "Game ticks applied across every engine in the process.")
+	telUpdates     = telemetry.NewCounter("engine_updates_applied_total", "Object-cell updates applied on the tick path.")
+	telApplyWall   = telemetry.NewHistogram("engine_apply_wall_ns", "Per-tick update apply wall time in nanoseconds.")
+	telPause       = telemetry.NewHistogram("engine_checkpoint_pause_ns", "Synchronous checkpoint pause charged to a tick, in nanoseconds (recorded only on ticks that begin a checkpoint).")
+	telCheckpoints = telemetry.NewCounter("engine_checkpoints_total", "Completed checkpoint images.")
+	telCkptBytes   = telemetry.NewCounter("engine_checkpoint_bytes_total", "Bytes flushed into completed checkpoint images.")
+	telCopies      = telemetry.NewCounter("engine_cou_copies_total", "Copy-on-update pre-image copies taken on the apply path.")
+	telCopyBytes   = telemetry.NewCounter("engine_cou_copy_bytes_total", "Bytes copied into the copy-on-update pre-image side buffer.")
+	telDegraded    = telemetry.NewGauge("engine_checkpoint_degraded", "1 while a checkpointer in this process runs degraded on one surviving backup family, 0 otherwise (last engine to open or degrade wins).")
+)

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The telemetry overhead contract, measured on the hottest instrumented
+// path (ApplyTick): disabled telemetry must add zero allocations — the
+// instruments reduce to one atomic load and branch per site — and enabled
+// telemetry must stay within a few percent of disabled. Run both and
+// compare:
+//
+//	go test -bench 'BenchmarkTelemetry' -benchtime 2s ./internal/engine
+//
+// See DESIGN.md "Runtime telemetry" for measured numbers.
+
+func benchmarkTelemetryApply(b *testing.B, enabled bool) {
+	was := telemetry.Enabled()
+	if enabled {
+		telemetry.Enable()
+	} else {
+		telemetry.Disable()
+	}
+	defer func() {
+		if was {
+			telemetry.Enable()
+		} else {
+			telemetry.Disable()
+		}
+	}()
+	e, err := Open(Options{Table: biggerTable(), Mode: ModeCopyOnUpdate, InMemory: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	rng := rand.New(rand.NewSource(1))
+	batch := randomBatch(rng, biggerTable().NumCells(), 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.ApplyTick(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchmarkTelemetryApply(b, false) }
+
+func BenchmarkTelemetryEnabled(b *testing.B) { benchmarkTelemetryApply(b, true) }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/peerram"
 	"repro/internal/replication"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -256,6 +257,8 @@ func chaosOutcome(faults int64, identical bool) string {
 func chaosDiskCell(table gamestate.Table, src workload.Source, ref []byte, seed int64) (ChaosCell, error) {
 	const site = "disk/a"
 	cell := ChaosCell{}
+	defer enableTelemetry()()
+	faultsBefore, _ := telemetry.VecValue("chaos_injected_faults_total", site)
 	dir, err := os.MkdirTemp("", "chaos-disk")
 	if err != nil {
 		return cell, err
@@ -310,9 +313,20 @@ func chaosDiskCell(table gamestate.Table, src workload.Source, ref []byte, seed 
 		}
 	}
 	degraded := e.CheckpointDegraded()
-	if dev != nil {
-		cell.Faults = dev.Injected()
+	// The cell's fault count comes from the telemetry registry — the same
+	// chaos_injected_faults_total{site} series a live scrape would read —
+	// cross-checked against the injector's own ledger. Scrape the degraded
+	// gauge here too: the recovery engine below re-opens and resets it.
+	faultsAfter, _ := telemetry.VecValue("chaos_injected_faults_total", site)
+	cell.Faults = int64(faultsAfter - faultsBefore)
+	if dev != nil && cell.Faults != dev.Injected() {
+		e.Close()
+		cell.Outcome = "failed"
+		cell.Detail = fmt.Sprintf("telemetry counted %d injected faults at %s, injector counted %d",
+			cell.Faults, site, dev.Injected())
+		return cell, nil
 	}
+	gaugeDegraded, _ := telemetry.GaugeValue("engine_checkpoint_degraded")
 	if err := e.Close(); err != nil {
 		cell.Outcome, cell.Detail = "failed", fmt.Sprintf("close: %v", err)
 		return cell, nil
@@ -335,6 +349,16 @@ func chaosDiskCell(table gamestate.Table, src workload.Source, ref []byte, seed 
 		cell.Detail = "faults fired but the checkpointer never reported degraded"
 	}
 	cell.Outcome = chaosOutcome(cell.Faults, cell.Identical)
+	// Verdict honesty: the outcome the report prints must agree with the
+	// engine_checkpoint_degraded gauge a live scrape of the run would have
+	// shown — a degraded cell with a zero gauge (or the reverse) means the
+	// telemetry lied about the run it instrumented.
+	if cell.Outcome != "failed" && (cell.Outcome == "degraded") != (gaugeDegraded != 0) {
+		cell.Detail = fmt.Sprintf("outcome %q disagrees with engine_checkpoint_degraded=%d",
+			cell.Outcome, gaugeDegraded)
+		cell.Outcome = "failed"
+		return cell, nil
+	}
 	if cell.Outcome == "degraded" && cell.Detail == "" {
 		cell.Detail = fmt.Sprintf("family a dead after %d bytes; survivor carried recovery", budget)
 	}

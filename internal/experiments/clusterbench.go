@@ -344,6 +344,7 @@ func clusterBenchCell(table gamestate.Table, src workload.Source, ref []byte,
 	nodes int, mode cluster.RecoveryMode, opts ClusterBenchOptions) (ClusterBenchRow, error) {
 	row := ClusterBenchRow{Scenario: src.Name(), Nodes: nodes, Coordination: "barrier",
 		Mode: mode.String(), MigTicks: -1}
+	defer enableTelemetry()()
 	dir, err := os.MkdirTemp("", "mmocluster")
 	if err != nil {
 		return row, err
@@ -441,7 +442,12 @@ func clusterBenchCell(table gamestate.Table, src workload.Source, ref []byte,
 				c.Close()
 				return row, err
 			}
-			row.CheckpointMs = time.Since(ck0).Seconds() * 1e3
+			ckWall := time.Since(ck0)
+			row.CheckpointMs = ckWall.Seconds() * 1e3
+			if err := scrapedWallClose("cluster_last_checkpoint_wall_ns", ckWall); err != nil {
+				c.Close()
+				return row, err
+			}
 		}
 	}
 	row.TickMs = tickWall.Seconds() * 1e3 / float64(total)
@@ -479,6 +485,10 @@ func clusterBenchCell(table gamestate.Table, src workload.Source, ref []byte,
 	}
 	row.RecoveryMs = wr.Wall.Seconds() * 1e3
 	row.WorldTick = wr.WorldTick
+	if err := scrapedWallExact("recovery_last_world_wall_ns", wr.Wall); err != nil {
+		rc.Close()
+		return row, err
+	}
 	served := make([]string, len(wr.Modes))
 	for i, m := range wr.Modes {
 		served[i] = m.String()

@@ -287,6 +287,7 @@ func gatewayBenchCell(table gamestate.Table, s Scale, seed int64, profile sessio
 		Profile: profile, Scenario: gatewayScenario(profile),
 		Nodes: nodes, Clients: opts.Clients,
 	}
+	defer enableTelemetry()()
 	refTicks, refSlab, err := gatewayReference(table, profile, seed, total, opts)
 	if err != nil {
 		return row, err
@@ -382,6 +383,10 @@ func gatewayBenchCell(table gamestate.Table, s Scale, seed int64, profile sessio
 	}
 	row.RecoveryMs = wr.Wall.Seconds() * 1e3
 	row.WorldTick = wr.WorldTick
+	if err := scrapedWallExact("recovery_last_world_wall_ns", wr.Wall); err != nil {
+		rc.Close()
+		return row, err
+	}
 	got := make([]byte, table.StateBytes())
 	if err := rc.ReadWorld(got); err != nil {
 		rc.Close()

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The benches cross-check the live telemetry registry against their own
+// stopwatches: a bench cell that measures a checkpoint or recovery wall also
+// scrapes the gauge the instrumented code set for the same event, and fails
+// if the two disagree. The scrape-vs-measured comparison is the honesty
+// gate for the whole telemetry layer — a unit slip or a dead instrument
+// shows up as a failed cell, not a silently wrong dashboard.
+
+// enableTelemetry turns the process-wide registry on for one bench cell and
+// returns the restore function (a no-op when telemetry was already on, so a
+// bench run under a live -telemetry-addr keeps its endpoint hot).
+func enableTelemetry() (restore func()) {
+	if telemetry.Enabled() {
+		return func() {}
+	}
+	telemetry.Enable()
+	return telemetry.Disable
+}
+
+// scrapedWallClose checks that a last-wall gauge is set and does not exceed
+// the bench's own stopwatch for the same event. The instrumented interval
+// sits strictly inside the stopwatch (the bench wraps the call), so the
+// scraped value must be positive and at most measured plus a small
+// scheduling allowance.
+func scrapedWallClose(gauge string, measured time.Duration) error {
+	v, ok := telemetry.GaugeValue(gauge)
+	if !ok {
+		return fmt.Errorf("telemetry gauge %s is not registered", gauge)
+	}
+	scraped := time.Duration(v)
+	if scraped <= 0 {
+		return fmt.Errorf("telemetry gauge %s was never set (bench measured %v)", gauge, measured)
+	}
+	if scraped > measured+measured/10+10*time.Millisecond {
+		return fmt.Errorf("telemetry gauge %s reports %v, but the bench measured only %v", gauge, scraped, measured)
+	}
+	return nil
+}
+
+// scrapedWallExact checks a last-wall gauge against the exact duration the
+// instrumented code also returned to the bench (both sides record the same
+// value, so any difference is a telemetry bug).
+func scrapedWallExact(gauge string, want time.Duration) error {
+	v, ok := telemetry.GaugeValue(gauge)
+	if !ok {
+		return fmt.Errorf("telemetry gauge %s is not registered", gauge)
+	}
+	if got := time.Duration(v); got != want {
+		return fmt.Errorf("telemetry gauge %s reports %v, want exactly %v", gauge, got, want)
+	}
+	return nil
+}

@@ -2,6 +2,13 @@
 // harness uses to regenerate the paper's figures and tables as text: labeled
 // series (one line per algorithm), aligned text tables, CSV emission, and
 // summary statistics over per-tick measurements.
+//
+// The package is scoped to offline experiment figure rendering: it runs
+// after a benchmark finishes and formats what the harness measured. Live
+// runtime observability — counters, gauges, histograms and spans scraped
+// from a running process — is internal/telemetry's job; the experiment
+// harness cross-checks the two against each other (a bench's measured walls
+// must agree with the telemetry the instrumented code recorded).
 package metrics
 
 import (

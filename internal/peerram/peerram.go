@@ -146,6 +146,8 @@ func (m *Mesh) Refresh(owner int) error {
 			return err
 		}
 	}
+	telRefreshes.Inc()
+	m.updateReplicaBytes()
 	return nil
 }
 
@@ -158,6 +160,8 @@ func (m *Mesh) Drain(owner int, tick uint64, timeout time.Duration) error {
 			return err
 		}
 	}
+	telDrains.Inc()
+	m.updateReplicaBytes()
 	return nil
 }
 
@@ -277,6 +281,7 @@ func (m *Mesh) MemStats() []int64 {
 	for i, st := range m.stores {
 		stats[i] = st.CompressedBytes()
 	}
+	m.updateReplicaBytes()
 	return stats
 }
 

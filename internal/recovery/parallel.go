@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -480,6 +481,27 @@ func RecoverParallel(opts ParallelOptions) (ParallelResult, error) {
 	res.TotalDuration = time.Since(start)
 	if sawTick {
 		res.NextTick = lastTick + 1
+	}
+	// Stage spans for the trace ring: the restore and replay stages overlap
+	// by design, so their spans carry real (overlapping) start/end stamps
+	// and the pipeline span records how much wall the overlap saved.
+	if telemetry.Enabled() {
+		restored := int64(0)
+		if res.Restored {
+			restored = 1
+		}
+		telemetry.RecordSpan("recovery/restore", start, restoreEnd,
+			telemetry.Int("shards", int64(len(ranges))),
+			telemetry.Int("restored", restored))
+		if !firstApply.IsZero() {
+			telemetry.RecordSpan("recovery/replay", firstApply, replayEnd,
+				telemetry.Int("shards", int64(len(ranges))),
+				telemetry.Int("replayed_ticks", int64(res.ReplayedTicks)),
+				telemetry.Int("replayed_updates", res.ReplayedUpdates))
+		}
+		telemetry.RecordSpan("recovery/pipeline", start, start.Add(res.TotalDuration),
+			telemetry.Int("shards", int64(len(ranges))),
+			telemetry.Int("overlap_ns", int64(res.Overlap())))
 	}
 
 	if readerErr != nil {

@@ -250,7 +250,11 @@ func (r *ResilientShipper) run() {
 			return
 		}
 		r.sessions++
+		resumed := r.sessions > 1
 		r.mu.Unlock()
+		if resumed {
+			telResumes.Inc()
+		}
 
 		conn, err := r.dial()
 		if err != nil {

@@ -218,7 +218,15 @@ func (s *Shipper) ship() error {
 		s.stats.TicksShipped++
 		s.stats.BytesShipped += int64(len(frame))
 		s.stats.Shipped, s.stats.HasShipped = tick, true
+		lag := tick - s.stats.Acked
+		hasAcked := s.stats.HasAcked
 		s.mu.Unlock()
+		telTicksShipped.Inc()
+		telBytesShipped.Add(uint64(len(frame)))
+		telShippedTick.Set(int64(tick))
+		if hasAcked {
+			telLagTicks.Set(int64(lag))
+		}
 		// Retention deliberately does NOT advance here: ticks in
 		// (acked, shipped] stay in the primary's log until the standby
 		// acknowledges them (ackLoop), so a severed connection can resume
@@ -279,8 +287,14 @@ func (s *Shipper) ackLoop() {
 		}
 		s.mu.Lock()
 		s.stats.Acked, s.stats.HasAcked = tick, true
+		lag := int64(0)
+		if s.stats.HasShipped && s.stats.Shipped > tick {
+			lag = int64(s.stats.Shipped - tick)
+		}
 		s.cond.Broadcast()
 		s.mu.Unlock()
+		telAckedTick.Set(int64(tick))
+		telLagTicks.Set(lag)
 		// Ack-based retention: everything at or below the acked tick is
 		// applied (and durable per the standby's sync policy) on the other
 		// end; only then may the primary's log reclaim it.

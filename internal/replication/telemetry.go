@@ -1,0 +1,16 @@
+package replication
+
+import "repro/internal/telemetry"
+
+// Replication runtime metrics (telemetry default registry, process-wide
+// across every shipper in the process). The watermark gauges mirror
+// ShipperStats for a live scrape: shipped/acked high-water ticks and the
+// in-flight lag between them — the warm-failover replay budget.
+var (
+	telTicksShipped = telemetry.NewCounter("replication_ticks_shipped_total", "Tick frames shipped to standbys.")
+	telBytesShipped = telemetry.NewCounter("replication_bytes_shipped_total", "Bytes of tick frames shipped to standbys.")
+	telShippedTick  = telemetry.NewGauge("replication_shipped_tick", "High-water tick shipped to the standby (last shipper to move wins).")
+	telAckedTick    = telemetry.NewGauge("replication_acked_tick", "High-water tick the standby acknowledged as applied.")
+	telLagTicks     = telemetry.NewGauge("replication_lag_ticks", "Shipped-minus-acked tick lag: the standby's replay budget right now.")
+	telResumes      = telemetry.NewCounter("replication_resumes_total", "Resilient-session reconnects that resumed an existing stream (sessions after a pair's first).")
+)

@@ -272,6 +272,7 @@ func (g *Gateway) Connect(id uint64, interest Range) (*Session, error) {
 	copy(g.sessions[i+1:], g.sessions[i:])
 	g.sessions[i] = s
 	g.interest.add(s)
+	telSessions.Set(int64(len(g.sessions)))
 	return s, nil
 }
 
@@ -372,6 +373,10 @@ func (g *Gateway) fanOut(p pendingTick) {
 	g.mu.Unlock()
 	g.deltas.Add(delivered)
 	g.dropped.Add(dropped)
+	if dropped > 0 {
+		telEvictions.Add(dropped)
+	}
+	telIntentVisible.ObserveSince(p.staged)
 
 	g.wMu.Lock()
 	g.delivered = p.tick + 1
@@ -479,6 +484,7 @@ func (s *Session) Submit(intents []wal.Update) error {
 			s.id, len(s.staged)+len(intents), s.gw.opts.MaxStaged)
 	}
 	s.staged = append(s.staged, intents...)
+	telStagedIntents.Add(uint64(len(intents)))
 	return nil
 }
 
@@ -535,6 +541,7 @@ func (s *Session) Close() {
 				g.sessions = append(g.sessions[:i], g.sessions[i+1:]...)
 			}
 			g.interest.remove(s)
+			telSessions.Set(int64(len(g.sessions)))
 		}
 		s.staged = nil
 		close(s.gone)

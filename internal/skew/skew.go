@@ -442,7 +442,9 @@ func (c *Cluster) waitApplied(min uint64) error {
 	c.mu.Lock()
 	defer func() {
 		c.mu.Unlock()
-		c.windowWait += time.Since(t0)
+		d := time.Since(t0)
+		c.windowWait += d
+		telWindowWait.ObserveDuration(d)
 	}()
 	for {
 		if err := c.firstErrLocked(); err != nil {

@@ -1,0 +1,12 @@
+package skew
+
+import "repro/internal/telemetry"
+
+// Bounded-skew runtime metrics (telemetry default registry, process-wide).
+// The window-wait histogram is the skew cluster's analogue of the barrier
+// cluster's cluster_barrier_wait_ns: comparing the two distributions is
+// exactly the coordination-cost comparison WindowWait/BarrierWait make in
+// aggregate, but per-tick.
+var (
+	telWindowWait = telemetry.NewHistogram("skew_window_wait_ns", "Per-tick coordinator wall blocked waiting for the skew window to admit the tick, in nanoseconds.")
+)

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the telemetry HTTP handler:
+//
+//	/metrics     Prometheus text exposition of every registered instrument
+//	/spans.json  the completed-span ring, timestamp-ordered JSON
+//	/debug/pprof net/http/pprof (profile, heap, trace, ...)
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetrics(w); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/spans.json", func(w http.ResponseWriter, _ *http.Request) {
+		body, err := SpansJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body) //nolint:errcheck // best-effort response
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running telemetry endpoint started by Serve.
+type Server struct {
+	// Addr is the bound listen address (resolved, so ":0" requests report
+	// the real port).
+	Addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve enables telemetry collection and starts the Handler on addr. It is
+// the -telemetry-addr integration point for long-running commands: the flag
+// defaults to empty (telemetry off, zero overhead), and a set flag both
+// turns collection on and exposes it.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	Enable()
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Close shuts the endpoint down. Collection stays enabled (counters keep
+// counting); call Disable separately to stop recording.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of every Histogram: bucket 0 holds
+// the value 0, bucket i (1..64) holds values in [2^(i-1), 2^i). The scale
+// is fixed at construction so Observe never allocates or rebalances.
+const HistBuckets = 65
+
+// bucketOf maps a value to its bucket index. 0 → 0, otherwise the bit
+// length of v (1..64), so the buckets are log2-scaled across all of uint64
+// and the largest values (including math.MaxUint64) land in bucket 64.
+func bucketOf(v uint64) int { return bits.Len64(v) }
+
+// bucketUpper is the inclusive upper bound of bucket i, used as the
+// Prometheus `le` boundary. Bucket 64's bound is math.MaxUint64, exposed
+// as +Inf.
+func bucketUpper(i int) uint64 {
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Histogram is a fixed-bucket log2-scale histogram of uint64 observations
+// (by convention nanoseconds for latencies, bytes for sizes). Observe is
+// lock-free, allocation-free and safe for concurrent use: one atomic add
+// into the value's bucket, one into the sum, one into the count — in that
+// order, so a Snapshot that reads the count first never sees more counted
+// observations than bucketed ones.
+type Histogram struct {
+	name, help string
+	count      atomic.Uint64
+	sum        atomic.Uint64
+	buckets    [HistBuckets]atomic.Uint64
+}
+
+// NewHistogram registers a histogram with the default registry and returns
+// it. It panics if name is already registered.
+func NewHistogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help}
+	register(h)
+	return h
+}
+
+// Observe records one value. A no-op while telemetry is disabled.
+func (h *Histogram) Observe(v uint64) {
+	if !on.Load() {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records d in nanoseconds (negative durations clamp to 0).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// ObserveSince records the nanoseconds elapsed since t0, skipping zero-value
+// t0 — the pattern for latency sites that only call time.Now when telemetry
+// is enabled:
+//
+//	var t0 time.Time
+//	if telemetry.Enabled() { t0 = time.Now() }
+//	... operation ...
+//	hist.ObserveSince(t0)
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if t0.IsZero() {
+		return
+	}
+	h.ObserveDuration(time.Since(t0))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Taken while
+// observers are running, it is weakly consistent: Count was read before the
+// buckets, so the bucket total is always ≥ Count and never misses an
+// observation that Count includes.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [HistBuckets]uint64
+}
+
+// Snapshot copies the histogram's counters.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed value (0 with no observations).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketTotal sums the bucket counts; under concurrent observation it may
+// exceed Count (see HistSnapshot) but never fall below it.
+func (s HistSnapshot) BucketTotal() uint64 {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	return total
+}
+
+func (h *Histogram) metricName() string { return h.name }
+
+// expose writes the histogram in Prometheus format. All series come from
+// one snapshot, and the _count line is the bucket total of that snapshot,
+// so the cumulative +Inf bucket and _count always agree within a scrape.
+func (h *Histogram) expose(w *bufio.Writer) {
+	s := h.Snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	// Emit buckets up to the highest populated one; the +Inf bucket always
+	// closes the series.
+	top := 0
+	for i, b := range s.Buckets {
+		if b > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top && i < HistBuckets-1; i++ {
+		cum += s.Buckets[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, bucketUpper(i), cum)
+	}
+	total := s.BucketTotal()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, total)
+	fmt.Fprintf(w, "%s_sum %d\n", h.name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", h.name, total)
+}
+
+// HistogramSnapshot reads a registered histogram by name; ok is false when
+// no histogram with that name exists.
+func HistogramSnapshot(name string) (s HistSnapshot, ok bool) {
+	if h, isH := lookup(name).(*Histogram); isH {
+		return h.Snapshot(), true
+	}
+	return HistSnapshot{}, false
+}

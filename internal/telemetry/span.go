@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// spanRingCap bounds the completed-span ring: the newest spanRingCap spans
+// are retained, oldest overwritten first. Spans instrument operations that
+// happen at checkpoint/recovery/migration cadence, not per tick, so the
+// ring covers a long operational window at a fixed memory bound.
+const spanRingCap = 4096
+
+// Attr is one typed key-value attribute of a span: either an int64 or a
+// string, built with Int or Str.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// Int builds an integer span attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Int: v} }
+
+// Str builds a string span attribute.
+func Str(key, v string) Attr { return Attr{Key: key, Str: v, IsStr: true} }
+
+// SpanRecord is one completed span in the ring.
+type SpanRecord struct {
+	// Name identifies the operation, slash-scoped by subsystem
+	// (e.g. "recovery/restore", "recovery/world").
+	Name string
+	// Start is the operation's start time; Duration its wall time.
+	Start    time.Time
+	Duration time.Duration
+	// Attrs are the typed attributes recorded at start and end.
+	Attrs []Attr
+}
+
+var spanRing struct {
+	mu    sync.Mutex
+	buf   [spanRingCap]SpanRecord
+	next  int
+	count int
+}
+
+func recordSpan(rec SpanRecord) {
+	spanRing.mu.Lock()
+	spanRing.buf[spanRing.next] = rec
+	spanRing.next = (spanRing.next + 1) % spanRingCap
+	if spanRing.count < spanRingCap {
+		spanRing.count++
+	}
+	spanRing.mu.Unlock()
+}
+
+// Span is an in-flight operation trace started with StartSpan. A nil *Span
+// (what StartSpan returns while telemetry is disabled) is valid: End on it
+// is a no-op, so call sites need no enabled-checks of their own.
+type Span struct {
+	name  string
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan begins a span. While telemetry is disabled it returns nil and
+// records nothing. Spans are for operation-cadence paths (recovery stages,
+// promotions, migrations); the variadic attrs argument allocates, so keep
+// StartSpan off per-update hot paths — counters and histograms cover those.
+func StartSpan(name string, attrs ...Attr) *Span {
+	if !on.Load() {
+		return nil
+	}
+	return &Span{name: name, start: time.Now(), attrs: attrs}
+}
+
+// End completes the span, appends any final attributes, and commits it to
+// the ring. A no-op on a nil span.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	recordSpan(SpanRecord{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    append(s.attrs, attrs...),
+	})
+}
+
+// RecordSpan commits an already-measured operation to the ring — the hook
+// for code that computed its stage boundaries itself (e.g. the recovery
+// pipeline's overlapped restore/replay stages). A no-op while telemetry is
+// disabled.
+func RecordSpan(name string, start, end time.Time, attrs ...Attr) {
+	if !on.Load() {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	recordSpan(SpanRecord{Name: name, Start: start, Duration: d, Attrs: attrs})
+}
+
+// Spans returns a copy of the ring's completed spans ordered by start time.
+func Spans() []SpanRecord {
+	spanRing.mu.Lock()
+	out := make([]SpanRecord, 0, spanRing.count)
+	start := spanRing.next - spanRing.count
+	if start < 0 {
+		start += spanRingCap
+	}
+	for i := 0; i < spanRing.count; i++ {
+		out = append(out, spanRing.buf[(start+i)%spanRingCap])
+	}
+	spanRing.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// ResetSpans empties the ring (test and benchmark isolation).
+func ResetSpans() {
+	spanRing.mu.Lock()
+	spanRing.next, spanRing.count = 0, 0
+	spanRing.mu.Unlock()
+}
+
+// spanJSON is the /spans.json wire shape of one span.
+type spanJSON struct {
+	Name        string         `json:"name"`
+	Start       time.Time      `json:"start"`
+	StartUnixNs int64          `json:"start_unix_ns"`
+	DurationNs  int64          `json:"duration_ns"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+}
+
+// SpansJSON renders the ring as a timestamp-ordered JSON array — the
+// /spans.json payload.
+func SpansJSON() ([]byte, error) {
+	spans := Spans()
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		var attrs map[string]any
+		if len(s.Attrs) > 0 {
+			attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				if a.IsStr {
+					attrs[a.Key] = a.Str
+				} else {
+					attrs[a.Key] = a.Int
+				}
+			}
+		}
+		out[i] = spanJSON{
+			Name:        s.Name,
+			Start:       s.Start,
+			StartUnixNs: s.Start.UnixNano(),
+			DurationNs:  s.Duration.Nanoseconds(),
+			Attrs:       attrs,
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,12 @@
+package wal
+
+import "repro/internal/telemetry"
+
+// WAL runtime metrics (telemetry default registry, process-wide across
+// every open log). Append and Sync only call time.Now while telemetry is
+// enabled, so the disabled tick path keeps its exact instruction count.
+var (
+	telAppend      = telemetry.NewHistogram("wal_append_ns", "Latency of one logical-log record append (buffered write, no fsync), in nanoseconds.")
+	telFsync       = telemetry.NewHistogram("wal_fsync_ns", "Latency of one logical-log Sync (buffer flush + fsync), in nanoseconds.")
+	telAppendBytes = telemetry.NewCounter("wal_append_bytes_total", "Bytes appended to logical logs, framing included.")
+)

@@ -23,6 +23,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 const (
@@ -140,6 +143,10 @@ func (l *Log) openSegment(start uint64) error {
 
 // Append writes one tick record. Ticks must be non-decreasing.
 func (l *Log) Append(tick uint64, payload []byte) error {
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -164,6 +171,8 @@ func (l *Log) Append(tick uint64, payload []byte) error {
 	}
 	l.lastTick = tick
 	l.hasTick = true
+	telAppendBytes.Add(uint64(16 + len(payload)))
+	telAppend.ObserveSince(t0)
 	return nil
 }
 
@@ -182,6 +191,10 @@ func (l *Log) Flush() error {
 
 // Sync flushes buffered records and fsyncs the active segment.
 func (l *Log) Sync() error {
+	var t0 time.Time
+	if telemetry.Enabled() {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -190,7 +203,11 @@ func (l *Log) Sync() error {
 	if err := l.bw.Flush(); err != nil {
 		return err
 	}
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	telFsync.ObserveSince(t0)
+	return nil
 }
 
 // Rotate seals the active segment and starts a new one whose records begin
